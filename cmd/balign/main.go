@@ -1,0 +1,336 @@
+// Command balign is the branch-alignment driver: it compiles a Mini-C
+// source file, profiles it on a training input, aligns its basic blocks
+// with the selected algorithm, and reports control penalties (and
+// optionally simulated execution time) under the resulting layout.
+//
+//	balign -src prog.mc -data "1,2,3,4" -aligner tsp -sim
+//	balign -src prog.mc -bench compress -dataset txt   (use a built-in benchmark instead)
+//	balign -bench xli -dataset q7 -aligner all -sim
+//
+// The entry function must be main with signature (), (n) or (input[], n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"branchalign/internal/align"
+	"branchalign/internal/bench"
+	"branchalign/internal/cfganal"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/lower"
+	"branchalign/internal/machine"
+	"branchalign/internal/minic"
+	"branchalign/internal/opt"
+	"branchalign/internal/pipe"
+	"branchalign/internal/stats"
+	"branchalign/internal/tsp"
+)
+
+func main() {
+	var (
+		srcPath   = flag.String("src", "", "Mini-C source file to align")
+		data      = flag.String("data", "", "comma-separated ints for the entry array input")
+		scalarN   = flag.Int64("n", -1, "entry scalar argument (default: array length)")
+		benchName = flag.String("bench", "", "use a built-in benchmark instead of -src")
+		dataset   = flag.String("dataset", "", "benchmark data set name (with -bench)")
+		alignSel  = flag.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, all")
+		modelSel  = flag.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
+		seed      = flag.Int64("seed", 1, "solver seed")
+		sim       = flag.Bool("sim", false, "simulate execution time (pipeline + I-cache)")
+		cacheKB   = flag.Int("cache-bytes", 0, "I-cache size in bytes for -sim (0 = default 512)")
+		cacheWays = flag.Int("cache-ways", 0, "I-cache associativity for -sim (0 = default 2)")
+		dynPred   = flag.Bool("dynpredict", false, "simulate a 2-bit dynamic predictor instead of static prediction")
+		dump      = flag.Bool("dump", false, "dump the IR module")
+		dotFunc   = flag.String("dot", "", "emit the CFG of the named function as Graphviz dot")
+		showOrder = flag.Bool("orders", false, "print the block order of every function")
+		bound     = flag.Bool("bound", false, "also compute the Held-Karp lower bound")
+		optimize  = flag.Bool("opt", false, "run CFG cleanup (jump threading, block merging) before aligning")
+		profOut   = flag.String("profile-out", "", "write the training profile as JSON")
+		profIn    = flag.String("profile-in", "", "read the training profile from JSON instead of running the program")
+		layoutOut = flag.String("layout-out", "", "write the chosen aligner's layout as JSON (single -aligner only)")
+		metrics   = flag.Bool("metrics", false, "report fall-through/taken/fixup transfer rates per aligner")
+		listing   = flag.String("listing", "", "print the named function's laid-out pseudo-assembly per aligner")
+		loops     = flag.Bool("loops", false, "report loop structure (dominators + natural loops) per function")
+	)
+	flag.Parse()
+
+	mod, inputs, err := loadProgram(*srcPath, *benchName, *dataset, *data, *scalarN)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := pickModel(*modelSel)
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		st := opt.Module(mod)
+		fmt.Printf("optimized: %d edges threaded, %d blocks merged, %d unreachable removed, %d branches folded\n",
+			st.ThreadedEdges, st.MergedBlocks, st.UnreachableBlocks, st.FoldedBranches+st.CollapsedCondBrs)
+	}
+	if *dump {
+		fmt.Print(mod.String())
+	}
+
+	var prof *interp.Profile
+	if *profIn != "" {
+		f, err := os.Open(*profIn)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err = interp.ReadProfileJSON(f, mod)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded profile from %s (%d branch sites touched)\n", *profIn, prof.BranchSitesTouched(mod))
+	} else {
+		prof = interp.NewProfile(mod)
+		res, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 31})
+		if err != nil {
+			fatal(fmt.Errorf("profiling run failed: %w", err))
+		}
+		fmt.Printf("profiled: %d IR instructions, %d dynamic branches, %d branch sites touched, ret=%d\n",
+			res.Steps, res.DynBranches(), prof.BranchSitesTouched(mod), res.Ret)
+	}
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote profile to %s\n", *profOut)
+	}
+
+	if *dotFunc != "" {
+		fi := mod.FuncIndex(*dotFunc)
+		if fi < 0 {
+			fatal(fmt.Errorf("no function %q", *dotFunc))
+		}
+		fmt.Print(mod.Funcs[fi].Dot(func(b, si int) (int64, bool) {
+			return prof.Funcs[fi].EdgeCounts[b][si], true
+		}))
+	}
+
+	if *loops {
+		printLoops(mod, prof)
+	}
+
+	aligners, err := pickAligners(*alignSel, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	origLayout := layout.Identity(mod, prof, model)
+	origCP := layout.ModulePenalty(mod, origLayout, prof, model)
+	var origCycles machine.Cost
+	var trace *pipe.Trace
+	simCfg := pipe.Config{Model: model, Cache: pipe.DefaultCache()}
+	if *cacheKB > 0 {
+		simCfg.Cache.SizeBytes = *cacheKB
+	}
+	if *cacheWays > 0 {
+		simCfg.Cache.Ways = *cacheWays
+	}
+	if *dynPred {
+		simCfg.Predictor = pipe.PredictorConfig{Kind: pipe.PredictTwoBit}
+	}
+	if *sim {
+		trace, _, err = pipe.Record(mod, inputs, interp.Options{MaxSteps: 1 << 31})
+		if err != nil {
+			fatal(err)
+		}
+		st := pipe.Replay(trace, mod, origLayout, simCfg)
+		origCycles = st.Cycles
+	}
+
+	table := stats.NewTable("aligner", "control penalty", "normalized", "cycles", "time vs original")
+	table.Rowf("original|%d|1.000|%s|1.0000", origCP, cyclesCell(*sim, origCycles))
+	for _, a := range aligners {
+		l := a.Align(mod, prof, model)
+		if err := l.Validate(mod); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid layout: %w", a.Name(), err))
+		}
+		if *layoutOut != "" && len(aligners) == 1 {
+			f, err := os.Create(*layoutOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := l.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s layout to %s\n", a.Name(), *layoutOut)
+		}
+		cp := layout.ModulePenalty(mod, l, prof, model)
+		cycleCell, timeCell := "-", "-"
+		if *sim {
+			st := pipe.Replay(trace, mod, l, simCfg)
+			cycleCell = fmt.Sprintf("%d", st.Cycles)
+			timeCell = fmt.Sprintf("%.4f", float64(st.Cycles)/float64(origCycles))
+		}
+		table.Rowf("%s|%d|%.3f|%s|%s", a.Name(), cp, stats.Ratio(cp, origCP, 1), cycleCell, timeCell)
+		if *metrics {
+			met := layout.ModuleMetrics(mod, l, prof)
+			fmt.Printf("  %s: %.1f%% fall-through (%d transfers, %d taken, %d via fixup)\n",
+				a.Name(), 100*met.FallthroughRate(), met.Transfers, met.Taken, met.ViaFixup)
+		}
+		if *listing != "" {
+			fi := mod.FuncIndex(*listing)
+			if fi < 0 {
+				fatal(fmt.Errorf("no function %q", *listing))
+			}
+			pf := layout.PlaceFunc(mod.Funcs[fi], l.Funcs[fi], 0)
+			fmt.Printf("--- %s layout of %s ---\n%s", a.Name(), *listing,
+				layout.Listing(mod.Funcs[fi], l.Funcs[fi], pf))
+		}
+		if *showOrder {
+			for fi, f := range mod.Funcs {
+				fmt.Printf("  %s/%s: %v\n", a.Name(), f.Name, l.Funcs[fi].Order)
+			}
+		}
+	}
+	if *bound {
+		hk := align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: 3000})
+		table.Rowf("lower bound|%d|%.3f|-|-", hk, stats.Ratio(hk, origCP, 1))
+	}
+	fmt.Println()
+	fmt.Print(table.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "balign:", err)
+	os.Exit(1)
+}
+
+// printLoops reports each function's loop structure with profiled trip
+// counts, the sanity view for "is the heat where the loops are".
+func printLoops(mod *ir.Module, prof *interp.Profile) {
+	for fi, f := range mod.Funcs {
+		dom := cfganal.ComputeDominators(f)
+		natural := cfganal.NaturalLoops(f, dom)
+		if len(natural) == 0 {
+			continue
+		}
+		depth := cfganal.LoopDepth(f)
+		fmt.Printf("loops in %s:\n", f.Name)
+		for _, l := range natural {
+			backCount := int64(0)
+			for si, s := range f.Blocks[l.Back].Term.Succs {
+				if s == l.Header {
+					backCount += prof.Funcs[fi].EdgeCounts[l.Back][si]
+				}
+			}
+			fmt.Printf("  header b%d (depth %d): %d blocks, back edge b%d->b%d executed %d times\n",
+				l.Header, depth[l.Header], len(l.Blocks), l.Back, l.Header, backCount)
+		}
+	}
+}
+
+func loadProgram(srcPath, benchName, dataset, data string, scalarN int64) (*ir.Module, []interp.Input, error) {
+	if benchName != "" {
+		b, err := bench.ByName(benchName)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dataset == "" {
+			dataset = b.DataSets[0].Name
+		}
+		ds, err := b.DataSet(dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		mod, err := b.Compile()
+		if err != nil {
+			return nil, nil, err
+		}
+		return mod, ds.Make(), nil
+	}
+	if srcPath == "" {
+		return nil, nil, fmt.Errorf("need -src or -bench (see -help)")
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := minic.Parse(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := minic.Check(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := lower.Program(info)
+	if err != nil {
+		return nil, nil, err
+	}
+	entry := mod.Funcs[mod.EntryFunc]
+	var arr []int64
+	if data != "" {
+		for _, part := range strings.Split(data, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -data element %q: %w", part, err)
+			}
+			arr = append(arr, v)
+		}
+	}
+	n := scalarN
+	if n < 0 {
+		n = int64(len(arr))
+	}
+	var inputs []interp.Input
+	switch {
+	case len(entry.Params) == 0:
+	case len(entry.Params) == 1 && entry.Params[0] == ir.ParamScalar:
+		inputs = []interp.Input{interp.ScalarInput(n)}
+	case len(entry.Params) == 2 && entry.Params[0] == ir.ParamArray && entry.Params[1] == ir.ParamScalar:
+		inputs = []interp.Input{interp.ArrayInput(arr), interp.ScalarInput(n)}
+	default:
+		return nil, nil, fmt.Errorf("entry main must have signature (), (n) or (input[], n)")
+	}
+	return mod, inputs, nil
+}
+
+func pickModel(name string) (machine.Model, error) {
+	for _, m := range machine.Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return machine.Model{}, fmt.Errorf("unknown model %q", name)
+}
+
+func pickAligners(sel string, seed int64) ([]align.Aligner, error) {
+	switch sel {
+	case "all":
+		return []align.Aligner{align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, align.NewTSP(seed)}, nil
+	case "original":
+		return nil, nil
+	case "greedy":
+		return []align.Aligner{align.PettisHansen{}}, nil
+	case "calder-grunwald", "cg":
+		return []align.Aligner{&align.CalderGrunwald{}}, nil
+	case "ap-patch", "patch":
+		return []align.Aligner{align.APPatch{}}, nil
+	case "tsp":
+		return []align.Aligner{align.NewTSP(seed)}, nil
+	}
+	return nil, fmt.Errorf("unknown aligner %q", sel)
+}
+
+func cyclesCell(sim bool, cycles machine.Cost) string {
+	if !sim {
+		return "-"
+	}
+	return fmt.Sprintf("%d", cycles)
+}

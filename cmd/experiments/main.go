@@ -1,0 +1,337 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index):
+//
+//	experiments -table1     benchmark inventory (Table 1)
+//	experiments -table2     compile/align phase times (Table 2)
+//	experiments -table3     machine penalty model (Table 3)
+//	experiments -table4     original penalties, HK bounds, cycles (Table 4)
+//	experiments -fig2       same-input training/testing (Figure 2)
+//	experiments -fig3       cross-validation (Figure 3)
+//	experiments -appendix   per-procedure solver/bound statistics
+//	experiments -all        everything above
+//
+// Use -benchmarks com,xli,... to restrict the suite and -seed to change
+// the deterministic random stream.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"branchalign/internal/core"
+	"branchalign/internal/machine"
+	"branchalign/internal/pipe"
+	"branchalign/internal/stats"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "benchmark inventory (Table 1)")
+		table2   = flag.Bool("table2", false, "phase times (Table 2)")
+		table3   = flag.Bool("table3", false, "penalty model (Table 3)")
+		table4   = flag.Bool("table4", false, "original penalties and bounds (Table 4)")
+		fig2     = flag.Bool("fig2", false, "same-input experiment (Figure 2)")
+		fig3     = flag.Bool("fig3", false, "cross-validation (Figure 3)")
+		appendix = flag.Bool("appendix", false, "per-procedure DTSP statistics (Appendix)")
+		ext      = flag.Bool("ext", false, "extensions: cache-aware weights, procedure ordering, dynamic prediction")
+		all      = flag.Bool("all", false, "run everything")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		benchSel = flag.String("benchmarks", "", "comma-separated benchmark names/abbrs (default: all)")
+		modelSel = flag.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
+		synth    = flag.Int("synth", 0, "add N synthetic instances to -appendix")
+	)
+	flag.Parse()
+	if !(*table1 || *table2 || *table3 || *table4 || *fig2 || *fig3 || *appendix || *ext || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := core.NewSuite(*seed)
+	if *benchSel != "" {
+		if _, err := s.WithBenchmarks(strings.Split(*benchSel, ",")...); err != nil {
+			fatal(err)
+		}
+	}
+	found := false
+	for _, m := range machine.Models() {
+		if m.Name == *modelSel {
+			s.Model = m
+			found = true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown model %q", *modelSel))
+	}
+
+	if *all || *table3 {
+		printTable3(s)
+	}
+	if *all || *table1 {
+		if err := printTable1(s); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *table2 {
+		if err := printTable2(s); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *table4 {
+		if err := printTable4(s); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *fig2 {
+		if err := printFig2(s); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *fig3 {
+		if err := printFig3(s); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *appendix {
+		if err := printAppendix(s, *synth); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *ext {
+		if err := printExtensions(s); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printExtensions(s *core.Suite) error {
+	fmt.Println("## Extensions (paper's future-work directions)")
+	fmt.Println()
+
+	fmt.Println("### Cache-aware edge weights (+2 cycles per taken transfer)")
+	ca, err := s.ExtCacheAware(2)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("bench.data", "plain CP", "aware CP", "plain cycles", "aware cycles", "plain misses", "aware misses")
+	for _, r := range ca {
+		t.Rowf("%s.%s|%d|%d|%d|%d|%d|%d", r.Bench, r.DataSet,
+			r.PlainCP, r.AwareCP, r.PlainCycles, r.AwareCycles, r.PlainMisses, r.AwareMisses)
+	}
+	fmt.Println(t)
+
+	fmt.Println("### Interprocedural procedure ordering (Pettis-Hansen, on TSP block layout)")
+	po, err := s.ExtProcOrder()
+	if err != nil {
+		return err
+	}
+	t = stats.NewTable("bench.data", "module-order cycles", "ordered cycles", "module-order misses", "ordered misses")
+	for _, r := range po {
+		t.Rowf("%s.%s|%d|%d|%d|%d", r.Bench, r.DataSet,
+			r.PlainCycles, r.OrderCycles, r.PlainMisses, r.OrderMisses)
+	}
+	fmt.Println(t)
+
+	fmt.Println("### CFG cleanup ablation (align raw lowered CFGs vs optimizer-cleaned CFGs)")
+	ob, err := s.ExtOptimize()
+	if err != nil {
+		return err
+	}
+	t = stats.NewTable("bench.data", "raw blocks", "opt blocks", "raw orig CP", "opt orig CP", "raw tsp CP(norm)", "opt tsp CP(norm)")
+	for _, r := range ob {
+		t.Rowf("%s.%s|%d|%d|%d|%d|%.3f|%.3f", r.Bench, r.DataSet,
+			r.RawBlocks, r.OptBlocks, r.RawOrigCP, r.OptOrigCP, r.RawTSPCP, r.OptTSPCP)
+	}
+	fmt.Println(t)
+
+	fmt.Println("### Union-profile training (train on both data sets merged)")
+	un, err := s.ExtUnionTraining()
+	if err != nil {
+		return err
+	}
+	t = stats.NewTable("bench.test", "tsp self", "tsp cross", "tsp union")
+	for _, r := range un {
+		t.Rowf("%s.%s|%.3f|%.3f|%.3f", r.Bench, r.TestSet, r.SelfCP, r.CrossCP, r.UnionCP)
+	}
+	fmt.Println(t)
+
+	fmt.Println("### Dynamic (2-bit + BTB) vs static prediction")
+	pr, err := s.ExtPredictor(pipe.PredictorConfig{})
+	if err != nil {
+		return err
+	}
+	t = stats.NewTable("bench.data", "static orig", "static tsp", "dyn orig", "dyn tsp", "tsp mispred static", "tsp mispred dyn")
+	for _, r := range pr {
+		t.Rowf("%s.%s|%d|%d|%d|%d|%d|%d", r.Bench, r.DataSet,
+			r.StaticOrigCycles, r.StaticTSPCycles, r.DynOrigCycles, r.DynTSPCycles,
+			r.StaticTSPMispred, r.DynTSPMispred)
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func printTable3(s *core.Suite) {
+	fmt.Printf("## Table 3: control penalties (%s model)\n\n", s.Model.Name)
+	t := stats.NewTable("block-ending control event", "penalty (cycles)", "formulaic term")
+	for _, row := range s.Model.Table() {
+		t.Rowf("%s|%d|%s", row.Event, row.Penalty, row.Term)
+	}
+	fmt.Println(t)
+}
+
+func printTable1(s *core.Suite) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Table 1: benchmarks and data sets")
+	fmt.Println()
+	t := stats.NewTable("bench", "data", "branch sites", "sites touched", "executed branches", "IR instrs")
+	for _, r := range rows {
+		t.Rowf("%s|%s|%d|%d|%s|%s", r.Bench, r.DataSet, r.SitesStatic, r.SitesTouched,
+			stats.FormatCount(r.ExecutedBranch), stats.FormatCount(r.InstructionsRun))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func printTable2(s *core.Suite) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Table 2: compilation and alignment phase times (ms)")
+	fmt.Println()
+	t := stats.NewTable("bench", "data", "IR gen", "profile run", "greedy", "TSP matrix", "TSP solve", "TSP program")
+	for _, r := range rows {
+		t.Rowf("%s|%s|%.1f|%.1f|%.1f|%.1f|%.1f|%.1f", r.Bench, r.DataSet,
+			r.CompileMS, r.ProfileMS, r.GreedyMS, r.MatrixMS, r.SolveMS, r.FinalizeMS)
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func printTable4(s *core.Suite) error {
+	rows, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Table 4: original control penalties, lower bounds, original cycles")
+	fmt.Println()
+	t := stats.NewTable("bench", "data", "original CP (cycles)", "HK lower bound", "original run (cycles)")
+	for _, r := range rows {
+		t.Rowf("%s|%s|%s|%s|%s", r.Bench, r.DataSet,
+			stats.FormatCount(r.OriginalCP), stats.FormatCount(r.LowerBoundCP), stats.FormatCount(r.OriginalCycles))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func printFig2(s *core.Suite) error {
+	rows, err := s.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 2: training and testing on the same data set")
+	fmt.Println("   (normalized to the original layout; lower is better)")
+	fmt.Println()
+	t := stats.NewTable("bench.data", "greedy CP", "tsp CP", "lower bound", "greedy time", "tsp time")
+	var gcp, tcp, bcp, gt, tt []float64
+	for _, r := range rows {
+		t.Rowf("%s.%s|%.3f|%.3f|%.3f|%.4f|%.4f", r.Bench, r.DataSet,
+			r.GreedyCP, r.TSPCP, r.BoundCP, r.GreedyTime, r.TSPTime)
+		gcp = append(gcp, r.GreedyCP)
+		tcp = append(tcp, r.TSPCP)
+		bcp = append(bcp, r.BoundCP)
+		gt = append(gt, r.GreedyTime)
+		tt = append(tt, r.TSPTime)
+	}
+	t.Rowf("MEAN|%.3f|%.3f|%.3f|%.4f|%.4f",
+		stats.Mean(gcp), stats.Mean(tcp), stats.Mean(bcp), stats.Mean(gt), stats.Mean(tt))
+	fmt.Println(t)
+	fmt.Printf("greedy removes %.1f%% of control penalty; TSP removes %.1f%%; bound allows %.1f%%\n",
+		stats.PercentRemoved(stats.Mean(gcp)), stats.PercentRemoved(stats.Mean(tcp)), stats.PercentRemoved(stats.Mean(bcp)))
+	fmt.Printf("run-time improvement: greedy %.2f%%, TSP %.2f%%\n\n",
+		stats.PercentRemoved(stats.Mean(gt)), stats.PercentRemoved(stats.Mean(tt)))
+	return nil
+}
+
+func printFig3(s *core.Suite) error {
+	rows, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 3: cross-validation (train on the other data set)")
+	fmt.Println("   (normalized control penalties and times on the TESTING input)")
+	fmt.Println()
+	t := stats.NewTable("bench.test(train)", "greedy self", "greedy cross", "tsp self", "tsp cross",
+		"g-self time", "g-cross time", "t-self time", "t-cross time")
+	var gs, gc, ts, tc, gst, gct, tst, tct []float64
+	for _, r := range rows {
+		t.Rowf("%s.%s(%s)|%.3f|%.3f|%.3f|%.3f|%.4f|%.4f|%.4f|%.4f",
+			r.Bench, r.TestSet, r.TrainSet,
+			r.GreedySelfCP, r.GreedyCrossCP, r.TSPSelfCP, r.TSPCrossCP,
+			r.GreedySelfTime, r.GreedyCrossTime, r.TSPSelfTime, r.TSPCrossTime)
+		gs = append(gs, r.GreedySelfCP)
+		gc = append(gc, r.GreedyCrossCP)
+		ts = append(ts, r.TSPSelfCP)
+		tc = append(tc, r.TSPCrossCP)
+		gst = append(gst, r.GreedySelfTime)
+		gct = append(gct, r.GreedyCrossTime)
+		tst = append(tst, r.TSPSelfTime)
+		tct = append(tct, r.TSPCrossTime)
+	}
+	t.Rowf("MEAN|%.3f|%.3f|%.3f|%.3f|%.4f|%.4f|%.4f|%.4f",
+		stats.Mean(gs), stats.Mean(gc), stats.Mean(ts), stats.Mean(tc),
+		stats.Mean(gst), stats.Mean(gct), stats.Mean(tst), stats.Mean(tct))
+	fmt.Println(t)
+	fmt.Printf("cross-validated: greedy removes %.1f%% of CP (self %.1f%%); TSP removes %.1f%% (self %.1f%%)\n\n",
+		stats.PercentRemoved(stats.Mean(gc)), stats.PercentRemoved(stats.Mean(gs)),
+		stats.PercentRemoved(stats.Mean(tc)), stats.PercentRemoved(stats.Mean(ts)))
+	return nil
+}
+
+func printAppendix(s *core.Suite, synth int) error {
+	st, err := s.Appendix()
+	if err != nil {
+		return err
+	}
+	if synth > 0 {
+		syn, err := s.AppendixSynthetic(synth, 40)
+		if err != nil {
+			return err
+		}
+		st.Instances = append(st.Instances, syn.Instances...)
+		// Recompute aggregates over the union.
+		merged, err2 := mergeAppendix(st.Instances)
+		if err2 != nil {
+			return err2
+		}
+		st = merged
+	}
+	fmt.Println("## Appendix: per-procedure DTSP instance statistics")
+	fmt.Println()
+	t := stats.NewTable("bench/func", "cities", "tour", "AP bound", "HK bound", "runs@best", "exact")
+	for _, inst := range st.Instances {
+		t.Rowf("%s/%s|%d|%d|%d|%d|%d/%d|%v", inst.Bench, inst.Func, inst.Cities,
+			inst.TourCost, inst.APBound, inst.HKBound, inst.RunsAtBest, inst.Runs, inst.Exact)
+	}
+	fmt.Println(t)
+	fmt.Printf("instances: %d; AP tight on %d; AP-gap median (loose instances) %.1f%%; tour > 10x AP on %d\n",
+		len(st.Instances), st.APTight, st.APGapMedianPct, st.APGapOver10x)
+	fmt.Printf("HK gap: mean %.3f%%, worst %.2f%%; all runs tied on %d; solved exactly: %d\n\n",
+		st.HKGapMeanPct, st.HKGapWorstPct, st.AllRunsTied, st.SolvedExactly)
+	return nil
+}
+
+func mergeAppendix(instances []core.InstanceStats) (*core.AppendixStats, error) {
+	out := &core.AppendixStats{Instances: instances}
+	core.FinalizeAppendix(out)
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"branchalign/internal/interp"
+)
+
+const testSrc = `
+func sum(a[], n) {
+	var i;
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+	return s;
+}
+func main(input[], n) {
+	out(sum(input, n));
+	return 0;
+}
+`
+
+func TestCompileSource(t *testing.T) {
+	mod, err := compileSource(testSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, instrs := moduleStats(mod)
+	if blocks == 0 || instrs == 0 {
+		t.Fatal("empty stats")
+	}
+	optMod, err := compileSource(testSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optBlocks, _ := moduleStats(optMod)
+	if optBlocks > blocks {
+		t.Errorf("optimization grew block count %d -> %d", blocks, optBlocks)
+	}
+	if _, err := compileSource("func broken(", false); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := compileSource("func f() { return q; }", false); err == nil {
+		t.Error("expected check error")
+	}
+}
+
+func TestBindInputs(t *testing.T) {
+	mod, err := compileSource(testSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := bindInputs(mod, "5, 6, 7", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(mod, inputs, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 18 {
+		t.Errorf("output = %v, want [18]", res.Output)
+	}
+	if _, err := bindInputs(mod, "1,x", -1); err == nil {
+		t.Error("expected error for bad data")
+	}
+	modBad, err := compileSource("func main(a, b, c) { return 0; }", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bindInputs(modBad, "", -1); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Errorf("expected signature error, got %v", err)
+	}
+}

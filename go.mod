@@ -1,0 +1,3 @@
+module branchalign
+
+go 1.24

@@ -1,0 +1,45 @@
+// Package align implements intraprocedural branch-alignment algorithms:
+// the original (compiler) order, the Pettis-Hansen-style greedy aligner,
+// the Calder-Grunwald cost-driven greedy variant, and the paper's
+// TSP-based near-optimal aligner, together with the Held-Karp and
+// assignment-problem lower bounds on achievable control penalty.
+package align
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+)
+
+// Aligner produces a module layout from a training profile under a
+// machine model.
+type Aligner interface {
+	// Name identifies the aligner in reports.
+	Name() string
+	// Align lays out every function of mod using the edge frequencies in
+	// prof. The returned layout satisfies layout.Validate.
+	Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout
+}
+
+// Original is the identity aligner: blocks stay in compiler order. It is
+// the baseline all results are normalized against.
+type Original struct{}
+
+// Name implements Aligner.
+func (Original) Name() string { return "original" }
+
+// Align implements Aligner.
+func (Original) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+	return layout.Identity(mod, prof, m)
+}
+
+// finalizeOrders assembles a module layout from per-function block
+// orders.
+func finalizeOrders(mod *ir.Module, prof *interp.Profile, m machine.Model, orders [][]int) *layout.Layout {
+	l := &layout.Layout{}
+	for fi, f := range mod.Funcs {
+		l.Funcs = append(l.Funcs, layout.Finalize(f, prof.Funcs[fi], orders[fi], m))
+	}
+	return l
+}

@@ -1,0 +1,199 @@
+package align
+
+import (
+	"runtime"
+	"sync"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/tsp"
+)
+
+// BuildMatrix constructs the DTSP instance for one function, per Section
+// 2.2 of the paper: a complete directed graph over the function's blocks
+// where the cost of edge (B, X) is the penalty accrued at the end of B
+// when X succeeds it in the layout (including the cost of any fixup
+// branches the placement forces).
+//
+// The paper adds "a dummy block representing the end of the layout"; here
+// the dummy is merged with the entry block into city 0 (the entry must be
+// laid out first, so in any cycle through city 0 the edge into city 0 is
+// the end-of-layout cost and the edge out of city 0 is the entry's
+// successor cost). The merge keeps every matrix entry finite: no
+// forbidden-edge constants are needed, which also tightens the Held-Karp
+// bound. City k corresponds to block k; a tour rotated to start at city 0
+// is exactly a block order.
+func BuildMatrix(f *ir.Func, fp *interp.FuncProfile, pred []int, m machine.Model) *tsp.Matrix {
+	n := len(f.Blocks)
+	mat := tsp.NewMatrix(n)
+	for b := 0; b < n; b++ {
+		for x := 0; x < n; x++ {
+			if b == x {
+				continue
+			}
+			if x == 0 {
+				// Closing the cycle into city 0 means "b is the last
+				// block of the layout".
+				mat.Set(b, x, layout.SuccessorCost(f, fp, pred, b, -1, m))
+				continue
+			}
+			mat.Set(b, x, layout.SuccessorCost(f, fp, pred, b, x, m))
+		}
+	}
+	return mat
+}
+
+// TSP is the paper's aligner: reduce each function to a DTSP and solve it
+// with multi-start iterated 3-opt (exactly for small functions).
+type TSP struct {
+	// Opts configures the solver; the zero value selects the paper's
+	// protocol (10 runs, 2N iterations) with seed 1.
+	Opts tsp.SolveOptions
+	// Parallel solves the per-function DTSPs on all CPUs. Functions are
+	// independent and each gets its own deterministic seed, so the result
+	// is bit-identical to the sequential run.
+	Parallel bool
+}
+
+// NewTSP returns a TSP aligner with the paper's solver protocol.
+func NewTSP(seed int64) *TSP {
+	return &TSP{Opts: tsp.PaperSolveOptions(seed)}
+}
+
+// Name implements Aligner.
+func (*TSP) Name() string { return "tsp" }
+
+// Align implements Aligner.
+func (t *TSP) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+	opts := t.Opts
+	if opts.GreedyStarts == 0 && opts.NNStarts == 0 && opts.IdentityStarts == 0 {
+		opts = tsp.PaperSolveOptions(1)
+	}
+	orders := make([][]int, len(mod.Funcs))
+	if t.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for fi, f := range mod.Funcs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(fi int, f *ir.Func) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				orders[fi] = t.alignFunc(f, prof.Funcs[fi], m, opts, int64(fi))
+			}(fi, f)
+		}
+		wg.Wait()
+	} else {
+		for fi, f := range mod.Funcs {
+			orders[fi] = t.alignFunc(f, prof.Funcs[fi], m, opts, int64(fi))
+		}
+	}
+	return finalizeOrders(mod, prof, m, orders)
+}
+
+// AlignFuncResult carries per-function solver diagnostics, used by the
+// appendix experiment.
+type AlignFuncResult struct {
+	FuncIndex  int
+	Cities     int
+	Order      []int
+	Cost       tsp.Cost
+	Exact      bool
+	Runs       int
+	RunsAtBest int
+}
+
+func (t *TSP) alignFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) []int {
+	res := t.SolveFunc(f, fp, m, opts, seedOffset)
+	return res.Order
+}
+
+// SolveFunc runs the solver on one function's DTSP and returns the block
+// order plus diagnostics.
+func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) AlignFuncResult {
+	n := len(f.Blocks)
+	out := AlignFuncResult{Cities: n}
+	if n == 1 {
+		out.Order = []int{0}
+		out.Exact = true
+		out.Runs = 1
+		out.RunsAtBest = 1
+		return out
+	}
+	pred := layout.Predictions(f, fp)
+	mat := BuildMatrix(f, fp, pred, m)
+	opts.Seed += seedOffset
+	res := tsp.Solve(mat, opts)
+	res.Tour.RotateTo(0)
+	out.Order = res.Tour
+	out.Cost = res.Cost
+	out.Exact = res.Exact
+	out.Runs = res.Runs
+	out.RunsAtBest = res.RunsAtBest
+	return out
+}
+
+// HeldKarpLowerBound computes the per-function Held-Karp lower bounds on
+// control penalty and returns their sum (in cycles, rounded up to the
+// next integer per function since penalties are integral). No layout can
+// achieve a lower total intraprocedural control penalty on the training
+// input.
+func HeldKarpLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model, opts tsp.HeldKarpOptions) layout.Cost {
+	var total layout.Cost
+	for fi, f := range mod.Funcs {
+		total += FuncHeldKarpBound(f, prof.Funcs[fi], m, opts)
+	}
+	return total
+}
+
+// FuncHeldKarpBound computes the Held-Karp bound for a single function's
+// DTSP instance. Functions small enough for exact solving are bounded by
+// their true optimum.
+func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.HeldKarpOptions) layout.Cost {
+	n := len(f.Blocks)
+	if n == 1 {
+		return 0
+	}
+	pred := layout.Predictions(f, fp)
+	mat := BuildMatrix(f, fp, pred, m)
+	if n <= 12 {
+		_, opt := tsp.SolveExact(mat)
+		return opt
+	}
+	b := tsp.HeldKarpDirected(mat, opts)
+	if b < 0 {
+		return 0 // costs are non-negative; clamp numerical noise
+	}
+	// The bound is valid, and penalties are integral, so rounding up
+	// keeps it valid while tightening it.
+	c := layout.Cost(b)
+	if float64(c) < b {
+		c++
+	}
+	return c
+}
+
+// BuildMatrixForFunc is BuildMatrix with predictions derived internally,
+// a convenience for per-instance analyses (the appendix experiment).
+func BuildMatrixForFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model) *tsp.Matrix {
+	return BuildMatrix(f, fp, layout.Predictions(f, fp), m)
+}
+
+// AssignmentLowerBound computes the per-function assignment-problem
+// bounds and their sum. It is weaker than Held-Karp on most
+// branch-alignment instances (the paper's appendix measures exactly how
+// much weaker).
+func AssignmentLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model) layout.Cost {
+	var total layout.Cost
+	for fi, f := range mod.Funcs {
+		if len(f.Blocks) == 1 {
+			continue
+		}
+		pred := layout.Predictions(f, prof.Funcs[fi])
+		mat := BuildMatrix(f, prof.Funcs[fi], pred, m)
+		total += tsp.AssignmentBound(mat)
+	}
+	return total
+}

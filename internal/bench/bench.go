@@ -1,0 +1,116 @@
+// Package bench provides the benchmark suite for the branch-alignment
+// experiments: six Mini-C programs mirroring the archetypes of the
+// paper's SPEC92 subset (Table 1), each with two input data sets so that
+// training and testing can use different inputs (the cross-validation
+// study), plus a synthetic CFG generator for stress and property tests.
+//
+// The programs are real algorithms, not microbenchmarks: an LZW
+// compressor (026.compress), a fixed-point relaxation solver (015.doduc),
+// a boolean-equation-to-truth-table translator with quicksort
+// (023.eqntott), a two-level cover minimizer over cube bitmaps
+// (008.espresso), a lattice Monte-Carlo kernel (089.su2cor), and a
+// bytecode virtual machine running Newton's method and the N-queens
+// problem (022.li, whose "ne" input is deliberately tiny — the paper
+// found it to be a poor training set, and so does this reproduction).
+package bench
+
+import (
+	"fmt"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/lower"
+	"branchalign/internal/minic"
+)
+
+// DataSet is one input for a benchmark.
+type DataSet struct {
+	// Name abbreviates the data set (paper style: "re", "sm", "q7", ...).
+	Name string
+	// Description says what the input models.
+	Description string
+	// Make builds the entry-function inputs. Deterministic.
+	Make func() []interp.Input
+}
+
+// Benchmark is a Mini-C program with its data sets.
+type Benchmark struct {
+	// Name is the full benchmark name ("compress").
+	Name string
+	// Abbr is the paper-style three-letter abbreviation ("com").
+	Abbr string
+	// Description summarizes the workload.
+	Description string
+	// Source is the Mini-C program text.
+	Source string
+	// DataSets lists at least two inputs; DataSets[0] is the reference
+	// (larger) input.
+	DataSets []DataSet
+}
+
+// Compile parses, checks and lowers the benchmark to IR.
+func (b *Benchmark) Compile() (*ir.Module, error) {
+	prog, err := minic.Parse(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	info, err := minic.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	mod, err := lower.Program(info)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return mod, nil
+}
+
+// DataSet returns the named data set or an error.
+func (b *Benchmark) DataSet(name string) (*DataSet, error) {
+	for i := range b.DataSets {
+		if b.DataSets[i].Name == name {
+			return &b.DataSets[i], nil
+		}
+	}
+	return nil, fmt.Errorf("bench %s: no data set %q", b.Name, name)
+}
+
+// All returns the full suite in the paper's Table 1 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Compress(),
+		Doduc(),
+		Eqntott(),
+		Espresso(),
+		Su2cor(),
+		Xli(),
+	}
+}
+
+// ByName returns the benchmark with the given name or abbreviation,
+// searching the extended set (so the SPEC95-preview benchmark is
+// selectable even though All() excludes it).
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range Extended() {
+		if b.Name == name || b.Abbr == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// lcg is a tiny deterministic generator for input synthesis (Go-side
+// only; the benchmarks themselves are deterministic Mini-C).
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *lcg) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 17
+}
+
+// intn returns a value in [0, n).
+func (r *lcg) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}

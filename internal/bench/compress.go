@@ -1,0 +1,157 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// compressSource is a Lempel-Ziv-Welch compressor: a hash-table
+// dictionary with linear probing, code emission through out(), and a
+// dictionary flush when the code space fills. It is the analogue of
+// 026.compress (a Lempel-Ziv compressor run on program text and on movie
+// data in the paper).
+const compressSource = `
+// LZW compressor with a linear-probed hash dictionary.
+global hkey[16384];   // packed (prefix*256 + ch + 1); 0 = empty slot
+global hval[16384];
+global ncodes;        // next code to assign (256.. up to maxcodes)
+global probes;        // total probe count (dictionary pressure metric)
+
+func hashIdx(prefix, ch) {
+	var h = (prefix * 31 + ch * 7 + 17) % 16384;
+	if (h < 0) { h = h + 16384; }
+	return h;
+}
+
+func lookup(prefix, ch) {
+	var key = prefix * 256 + ch + 1;
+	var h = hashIdx(prefix, ch);
+	while (1) {
+		if (hkey[h] == 0) { return -1; }
+		probes = probes + 1;
+		if (hkey[h] == key) { return hval[h]; }
+		h = h + 1;
+		if (h >= 16384) { h = 0; }
+	}
+	return -1;
+}
+
+func insert(prefix, ch, code) {
+	var key = prefix * 256 + ch + 1;
+	var h = hashIdx(prefix, ch);
+	while (hkey[h] != 0) {
+		h = h + 1;
+		if (h >= 16384) { h = 0; }
+	}
+	hkey[h] = key;
+	hval[h] = code;
+	return 0;
+}
+
+func reset() {
+	var i;
+	for (i = 0; i < 16384; i = i + 1) {
+		hkey[i] = 0;
+		hval[i] = 0;
+	}
+	ncodes = 256;
+	return 0;
+}
+
+func byteAt(input[], i) {
+	var v = input[i] % 256;
+	if (v < 0) { v = v + 256; }
+	return v;
+}
+
+func main(input[], n) {
+	var emitted = 0;
+	reset();
+	probes = 0;
+	if (n == 0) { return 0; }
+	var prefix = byteAt(input, 0);
+	var i;
+	for (i = 1; i < n; i = i + 1) {
+		var ch = byteAt(input, i);
+		var code = lookup(prefix, ch);
+		if (code >= 0) {
+			prefix = code;
+		} else {
+			out(prefix);
+			emitted = emitted + 1;
+			if (ncodes < 4096) {
+				insert(prefix, ch, ncodes);
+				ncodes = ncodes + 1;
+			} else {
+				reset();
+			}
+			prefix = ch;
+		}
+	}
+	out(prefix);
+	out(probes);
+	return emitted + 1;
+}
+`
+
+// Compress returns the LZW benchmark with a text-like input ("txt",
+// repetitive, compresses well) and a movie-like input ("mov", noisy,
+// stresses the dictionary miss path), mirroring the paper's program-text
+// and MPEG data sets.
+func Compress() *Benchmark {
+	return &Benchmark{
+		Name:        "compress",
+		Abbr:        "com",
+		Description: "Lempel-Ziv-Welch compressor (cf. 026.compress)",
+		Source:      compressSource,
+		DataSets: []DataSet{
+			{
+				Name:        "txt",
+				Description: "program-text-like stream: small alphabet, repeated phrases",
+				Make:        func() []interp.Input { return compressTextInput(90000, 101) },
+			},
+			{
+				Name:        "mov",
+				Description: "movie-like stream: wide alphabet, weak repetition",
+				Make:        func() []interp.Input { return compressNoisyInput(60000, 202) },
+			},
+		},
+	}
+}
+
+// compressTextInput builds a repetitive stream: phrases drawn from a
+// small pool are concatenated with occasional mutations, like source
+// text.
+func compressTextInput(n int, seed uint64) []interp.Input {
+	rng := newLCG(seed)
+	// A pool of short "words" over a 32-symbol alphabet.
+	words := make([][]int64, 48)
+	for i := range words {
+		w := make([]int64, 3+rng.intn(7))
+		for j := range w {
+			w[j] = rng.intn(32) + 97
+		}
+		words[i] = w
+	}
+	data := make([]int64, 0, n)
+	for len(data) < n {
+		w := words[rng.intn(int64(len(words)))]
+		data = append(data, w...)
+		data = append(data, 32) // separator
+		if rng.intn(20) == 0 {
+			data = append(data, rng.intn(256)) // rare mutation
+		}
+	}
+	data = data[:n]
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(n))}
+}
+
+// compressNoisyInput builds a weakly correlated wide-alphabet stream.
+func compressNoisyInput(n int, seed uint64) []interp.Input {
+	rng := newLCG(seed)
+	data := make([]int64, n)
+	prev := int64(0)
+	for i := range data {
+		// First-order correlation with heavy noise, like dithered video.
+		prev = (prev + rng.intn(97) - 48) & 255
+		data[i] = prev
+	}
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(n))}
+}

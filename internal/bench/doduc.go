@@ -1,0 +1,120 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// doducSource is a fixed-point successive-over-relaxation solver on a 2D
+// grid with clamping and convergence tests — the numeric-kernel analogue
+// of 015.doduc (a nuclear-reactor thermohydraulic simulation). Values are
+// fixed-point with 10 fractional bits.
+const doducSource = `
+// Fixed-point (x1024) over-relaxed Laplace solver on a size x size grid.
+global grid[4096];    // up to 64x64
+global scratch[4096];
+global sweepsDone;
+
+func at(r, c, size) { return r * size + c; }
+
+func setupBoundary(input[], size) {
+	var i;
+	for (i = 0; i < size; i = i + 1) {
+		grid[at(0, i, size)] = input[2 + (i % 16)] * 1024;
+		grid[at(size - 1, i, size)] = input[2 + ((i + 5) % 16)] * 512;
+		grid[at(i, 0, size)] = input[2 + ((i + 9) % 16)] * 256;
+		grid[at(i, size - 1, size)] = 0;
+	}
+	return 0;
+}
+
+func sweep(size, omega) {
+	var r;
+	var c;
+	var maxDelta = 0;
+	for (r = 1; r < size - 1; r = r + 1) {
+		for (c = 1; c < size - 1; c = c + 1) {
+			var avg = (grid[at(r - 1, c, size)] + grid[at(r + 1, c, size)]
+				+ grid[at(r, c - 1, size)] + grid[at(r, c + 1, size)]) / 4;
+			var old = grid[at(r, c, size)];
+			var nv = old + ((avg - old) * omega) / 1024;
+			if (nv > 8000000) { nv = 8000000; }
+			if (nv < -8000000) { nv = -8000000; }
+			scratch[at(r, c, size)] = nv;
+			var d = nv - old;
+			if (d < 0) { d = -d; }
+			if (d > maxDelta) { maxDelta = d; }
+		}
+	}
+	for (r = 1; r < size - 1; r = r + 1) {
+		for (c = 1; c < size - 1; c = c + 1) {
+			grid[at(r, c, size)] = scratch[at(r, c, size)];
+		}
+	}
+	return maxDelta;
+}
+
+func checksum(size) {
+	var r;
+	var c;
+	var sum = 0;
+	for (r = 0; r < size; r = r + 1) {
+		for (c = 0; c < size; c = c + 1) {
+			sum = sum ^ (grid[at(r, c, size)] + r * 31 + c);
+		}
+	}
+	return sum;
+}
+
+func main(input[], n) {
+	var iters = input[0];
+	var size = input[1];
+	if (size > 64) { size = 64; }
+	if (size < 4) { size = 4; }
+	setupBoundary(input, size);
+	sweepsDone = 0;
+	var k;
+	var delta = 0;
+	for (k = 0; k < iters; k = k + 1) {
+		delta = sweep(size, 922);
+		sweepsDone = sweepsDone + 1;
+		if (delta < 2) { break; }   // converged
+		if (k % 8 == 7) { out(delta); }
+	}
+	out(sweepsDone);
+	out(checksum(size));
+	return delta;
+}
+`
+
+// Doduc returns the relaxation-solver benchmark with reference ("re",
+// large grid) and small ("sm") inputs, like the paper's SPEC ref / small
+// pair.
+func Doduc() *Benchmark {
+	return &Benchmark{
+		Name:        "doduc",
+		Abbr:        "dod",
+		Description: "fixed-point over-relaxation solver (cf. 015.doduc)",
+		Source:      doducSource,
+		DataSets: []DataSet{
+			{
+				Name:        "re",
+				Description: "reference: 56x56 grid, up to 90 sweeps",
+				Make:        func() []interp.Input { return doducInput(90, 56, 11) },
+			},
+			{
+				Name:        "sm",
+				Description: "small: 24x24 grid, up to 30 sweeps",
+				Make:        func() []interp.Input { return doducInput(30, 24, 23) },
+			},
+		},
+	}
+}
+
+func doducInput(iters, size int64, seed uint64) []interp.Input {
+	rng := newLCG(seed)
+	data := make([]int64, 2+16)
+	data[0] = iters
+	data[1] = size
+	for i := 2; i < len(data); i++ {
+		data[i] = rng.intn(2000) - 700
+	}
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}

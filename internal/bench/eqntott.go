@@ -1,0 +1,210 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// eqntottSource translates boolean equations (postfix token streams) into
+// truth tables and canonicalizes them by quicksort — the analogue of
+// 023.eqntott, whose hot code was exactly this kind of comparison-heavy
+// sorting over bit vectors.
+const eqntottSource = `
+// Postfix boolean evaluator + truth-table builder + quicksort.
+global stack[128];
+global table[32768];    // packed (output << 20) | assignment
+global minterms;
+
+// Token encoding: 0..19 variable index; 256 AND, 257 OR, 258 NOT,
+// 259 XOR, 260 NAND.
+func evalExpr(expr[], len, assignment) {
+	var sp = 0;
+	var i;
+	for (i = 0; i < len; i = i + 1) {
+		var t = expr[i];
+		if (t < 256) {
+			stack[sp] = (assignment >> t) & 1;
+			sp = sp + 1;
+		} else {
+			var b;
+			var a;
+			switch (t) {
+			case 256:
+				sp = sp - 1;
+				b = stack[sp];
+				a = stack[sp - 1];
+				stack[sp - 1] = a & b;
+			case 257:
+				sp = sp - 1;
+				b = stack[sp];
+				a = stack[sp - 1];
+				stack[sp - 1] = a | b;
+			case 258:
+				stack[sp - 1] = 1 - stack[sp - 1];
+			case 259:
+				sp = sp - 1;
+				b = stack[sp];
+				a = stack[sp - 1];
+				stack[sp - 1] = a ^ b;
+			case 260:
+				sp = sp - 1;
+				b = stack[sp];
+				a = stack[sp - 1];
+				stack[sp - 1] = 1 - (a & b);
+			default:
+				out(-999);
+			}
+		}
+	}
+	return stack[0];
+}
+
+func buildTable(expr[], len, numVars) {
+	var rows = 1 << numVars;
+	var a;
+	minterms = 0;
+	for (a = 0; a < rows; a = a + 1) {
+		var v = evalExpr(expr, len, a);
+		table[a] = (v << 20) | a;
+		if (v == 1) { minterms = minterms + 1; }
+	}
+	return rows;
+}
+
+// Quicksort with median-of-three pivot and insertion sort below a
+// threshold (like production qsort).
+func insertionSort(lo, hi) {
+	var i;
+	for (i = lo + 1; i <= hi; i = i + 1) {
+		var key = table[i];
+		var j = i - 1;
+		while (j >= lo && table[j] > key) {
+			table[j + 1] = table[j];
+			j = j - 1;
+		}
+		table[j + 1] = key;
+	}
+	return 0;
+}
+
+func qsort(lo, hi) {
+	while (hi - lo > 12) {
+		var mid = lo + (hi - lo) / 2;
+		// Median of three.
+		if (table[mid] < table[lo]) {
+			var t1 = table[mid]; table[mid] = table[lo]; table[lo] = t1;
+		}
+		if (table[hi] < table[lo]) {
+			var t2 = table[hi]; table[hi] = table[lo]; table[lo] = t2;
+		}
+		if (table[hi] < table[mid]) {
+			var t3 = table[hi]; table[hi] = table[mid]; table[mid] = t3;
+		}
+		var pivot = table[mid];
+		var i = lo;
+		var j = hi;
+		while (i <= j) {
+			while (table[i] < pivot) { i = i + 1; }
+			while (table[j] > pivot) { j = j - 1; }
+			if (i <= j) {
+				var t = table[i];
+				table[i] = table[j];
+				table[j] = t;
+				i = i + 1;
+				j = j - 1;
+			}
+		}
+		// Recurse on the smaller side, loop on the larger.
+		if (j - lo < hi - i) {
+			qsort(lo, j);
+			lo = i;
+		} else {
+			qsort(i, hi);
+			hi = j;
+		}
+	}
+	insertionSort(lo, hi);
+	return 0;
+}
+
+func main(input[], n) {
+	var numVars = input[0];
+	var exprLen = input[1];
+	var expr[512];
+	var i;
+	for (i = 0; i < exprLen; i = i + 1) { expr[i] = input[2 + i]; }
+	var rows = buildTable(expr, exprLen, numVars);
+	qsort(0, rows - 1);
+	// Emit a canonical digest: transition count and a sample of rows.
+	var transitions = 0;
+	for (i = 1; i < rows; i = i + 1) {
+		if ((table[i] >> 20) != (table[i - 1] >> 20)) {
+			transitions = transitions + 1;
+		}
+	}
+	out(minterms);
+	out(transitions);
+	for (i = 0; i < rows; i = i + 256) { out(table[i]); }
+	return minterms;
+}
+`
+
+// Eqntott returns the truth-table benchmark with two different equation
+// sets ("fx": fixed-to-floating-point encoder equations analogue, "ip":
+// a different random formula family).
+func Eqntott() *Benchmark {
+	return &Benchmark{
+		Name:        "eqntott",
+		Abbr:        "eqn",
+		Description: "boolean equations to truth tables with quicksort (cf. 023.eqntott)",
+		Source:      eqntottSource,
+		DataSets: []DataSet{
+			{
+				Name:        "fx",
+				Description: "13-variable AND/OR-heavy formula",
+				Make:        func() []interp.Input { return eqntottInput(13, 200, 31, false) },
+			},
+			{
+				Name:        "ip",
+				Description: "12-variable XOR/NAND-heavy formula",
+				Make:        func() []interp.Input { return eqntottInput(12, 170, 47, true) },
+			},
+		},
+	}
+}
+
+// eqntottInput synthesizes a random postfix formula guaranteed to be
+// well-formed: it tracks the stack depth while emitting tokens.
+func eqntottInput(numVars, exprLen int64, seed uint64, xorHeavy bool) []interp.Input {
+	rng := newLCG(seed)
+	expr := make([]int64, 0, exprLen)
+	depth := 0
+	for int64(len(expr)) < exprLen-1 {
+		emitVar := depth < 2 || rng.intn(5) < 2
+		if int64(len(expr))+int64(depth) >= exprLen-1 {
+			emitVar = false // wind the stack down
+		}
+		if emitVar {
+			expr = append(expr, rng.intn(numVars))
+			depth++
+			continue
+		}
+		if rng.intn(6) == 0 {
+			expr = append(expr, 258) // NOT
+			continue
+		}
+		var op int64
+		if xorHeavy {
+			op = []int64{259, 260, 256, 259}[rng.intn(4)]
+		} else {
+			op = []int64{256, 257, 256, 257, 259}[rng.intn(5)]
+		}
+		expr = append(expr, op)
+		depth--
+	}
+	for depth > 1 {
+		expr = append(expr, 257) // OR the remainder together
+		depth--
+	}
+	data := make([]int64, 0, 2+len(expr))
+	data = append(data, numVars, int64(len(expr)))
+	data = append(data, expr...)
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}

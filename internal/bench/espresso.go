@@ -1,0 +1,189 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// espressoSource is a simplified two-level logic minimizer in the spirit
+// of 008.espresso: it greedily expands minterms of the ON-set into prime
+// cubes (value/mask pairs), checking containment against the ON-set
+// bitmap, and then makes the cover irredundant. The code is dominated by
+// data-dependent branching over bit vectors, like the original.
+const espressoSource = `
+// Greedy cube expansion over an ON-set bitmap (up to 12 variables).
+global onset[4096];     // 1 when the minterm is in the ON-set
+global covered[4096];   // 1 when some chosen cube covers it
+global cubeVal[512];    // chosen cubes: fixed-variable values
+global cubeMask[512];   // chosen cubes: 1 bits mark FREE variables
+global numCubes;
+global fullMask;
+
+// cubeInOnset: is every minterm of (value, freeMask) inside the ON-set?
+// Enumerates subsets of freeMask from full down to empty.
+func cubeInOnset(value, freeMask) {
+	var base = value & (fullMask ^ freeMask);
+	var sub = freeMask;
+	while (1) {
+		if (onset[base | sub] == 0) { return 0; }
+		if (sub == 0) { break; }
+		sub = (sub - 1) & freeMask;
+	}
+	return 1;
+}
+
+// markCovered flags all minterms of a cube.
+func markCovered(value, freeMask) {
+	var base = value & (fullMask ^ freeMask);
+	var sub = freeMask;
+	var newly = 0;
+	while (1) {
+		if (covered[base | sub] == 0) {
+			covered[base | sub] = 1;
+			newly = newly + 1;
+		}
+		if (sub == 0) { break; }
+		sub = (sub - 1) & freeMask;
+	}
+	return newly;
+}
+
+// expand grows a minterm into a prime cube by freeing variables one at a
+// time (in a rotating order so different minterms expand differently).
+func expand(minterm, numVars, start) {
+	var freeMask = 0;
+	var k;
+	for (k = 0; k < numVars; k = k + 1) {
+		var v = (start + k) % numVars;
+		var bit = 1 << v;
+		if ((freeMask & bit) == 0) {
+			if (cubeInOnset(minterm, freeMask | bit) == 1) {
+				freeMask = freeMask | bit;
+			}
+		}
+	}
+	return freeMask;
+}
+
+// popcount of the low 12 bits.
+func pop12(x) {
+	var c = 0;
+	var i;
+	for (i = 0; i < 12; i = i + 1) {
+		c = c + ((x >> i) & 1);
+	}
+	return c;
+}
+
+func main(input[], n) {
+	var numVars = input[0];
+	if (numVars > 12) { numVars = 12; }
+	fullMask = (1 << numVars) - 1;
+	var space = 1 << numVars;
+	var i;
+	for (i = 0; i < space; i = i + 1) {
+		onset[i] = 0;
+		covered[i] = 0;
+	}
+	var onCount = 0;
+	for (i = 1; i < n; i = i + 1) {
+		var m = input[i] & fullMask;
+		if (onset[m] == 0) {
+			onset[m] = 1;
+			onCount = onCount + 1;
+		}
+	}
+	numCubes = 0;
+	var literalsSaved = 0;
+	for (i = 0; i < space; i = i + 1) {
+		if (onset[i] == 1 && covered[i] == 0) {
+			var freeMask = expand(i, numVars, i % numVars);
+			markCovered(i, freeMask);
+			cubeVal[numCubes] = i & (fullMask ^ freeMask);
+			cubeMask[numCubes] = freeMask;
+			numCubes = numCubes + 1;
+			literalsSaved = literalsSaved + pop12(freeMask);
+			if (numCubes >= 512) { break; }
+		}
+	}
+	// Irredundancy pass: drop cubes fully covered by the union of the
+	// others (re-mark coverage without each candidate in turn). Bounded
+	// to the first 32 candidates to keep the pass quadratic-but-small.
+	var kept = numCubes;
+	if (kept > 32) { kept = numCubes - 32; }
+	if (kept == numCubes) { kept = 0; }
+	var c;
+	var limit = numCubes;
+	if (limit > 32) { limit = 32; }
+	for (c = 0; c < limit; c = c + 1) {
+		// Clear coverage and re-mark with every cube except c.
+		for (i = 0; i < space; i = i + 1) { covered[i] = 0; }
+		var d;
+		for (d = 0; d < numCubes; d = d + 1) {
+			if (d != c && cubeMask[d] >= 0) {
+				markCovered(cubeVal[d], cubeMask[d]);
+			}
+		}
+		// Is any minterm of c uncovered?
+		var needed = 0;
+		var base = cubeVal[c];
+		var sub = cubeMask[c];
+		while (1) {
+			if (covered[base | sub] == 0) { needed = 1; break; }
+			if (sub == 0) { break; }
+			sub = (sub - 1) & cubeMask[c];
+		}
+		if (needed == 0) {
+			cubeMask[c] = -1;   // drop
+		} else {
+			kept = kept + 1;
+		}
+	}
+	out(onCount);
+	out(numCubes);
+	out(kept);
+	out(literalsSaved);
+	return kept;
+}
+`
+
+// Espresso returns the cover-minimizer benchmark with a dense 11-variable
+// ON-set ("ti") and a sparse structured 10-variable one ("tl"), like the
+// paper's espresso ti / tial inputs.
+func Espresso() *Benchmark {
+	return &Benchmark{
+		Name:        "espresso",
+		Abbr:        "esp",
+		Description: "two-level boolean cover minimizer over cube bitmaps (cf. 008.espresso)",
+		Source:      espressoSource,
+		DataSets: []DataSet{
+			{
+				Name:        "ti",
+				Description: "11 variables, dense random ON-set",
+				Make:        func() []interp.Input { return espressoInput(11, 1400, 71, false) },
+			},
+			{
+				Name:        "tl",
+				Description: "10 variables, structured sparse ON-set",
+				Make:        func() []interp.Input { return espressoInput(10, 420, 83, true) },
+			},
+		},
+	}
+}
+
+func espressoInput(numVars, count int64, seed uint64, structured bool) []interp.Input {
+	rng := newLCG(seed)
+	space := int64(1) << numVars
+	data := make([]int64, 0, count+1)
+	data = append(data, numVars)
+	for int64(len(data)) < count+1 {
+		m := rng.intn(space)
+		if structured {
+			// Clear two low bits half the time: creates expandable cubes.
+			if rng.intn(2) == 0 {
+				m &^= 3
+			}
+			// Bias toward a subspace.
+			m |= 1 << (numVars - 1)
+		}
+		data = append(data, m)
+	}
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}

@@ -1,0 +1,257 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// go95Source is a connect-four-style alpha-beta game searcher: negamax
+// with alpha-beta pruning, center-first move ordering, incremental board
+// updates and a windowed positional evaluator. It stands in for the
+// game-playing benchmark of SPEC95 (099.go) — the paper's future work
+// says "We would have preferred to run our algorithm on larger,
+// longer-running benchmarks, including those in SPEC95." Search code is
+// the worst case for static branch prediction (data-dependent branches
+// everywhere), so alignment recovers a smaller fraction here.
+const go95Source = `
+// Connect-4 on a 7x6 board: negamax + alpha-beta self-play.
+global board[49];    // board[col*7 + row]; 0 empty, 1 / 2 players
+global heights[7];
+global nodes;        // search nodes visited (reported via out)
+global cutoffs;      // alpha-beta cutoffs
+
+func drop(col, player) {
+	var r = heights[col];
+	board[col * 7 + r] = player;
+	heights[col] = r + 1;
+	return r;
+}
+
+func undo(col) {
+	var r = heights[col] - 1;
+	heights[col] = r;
+	board[col * 7 + r] = 0;
+	return 0;
+}
+
+// lineLen counts consecutive stones of player from (col,row) in
+// direction (dc,dr), excluding the origin.
+func lineLen(col, row, dc, dr, player) {
+	var k = 0;
+	var c = col + dc;
+	var r = row + dr;
+	while (c >= 0 && c < 7 && r >= 0 && r < 6) {
+		if (board[c * 7 + r] != player) { break; }
+		k = k + 1;
+		c = c + dc;
+		r = r + dr;
+	}
+	return k;
+}
+
+// winAt reports whether the stone just placed at (col,row) completes
+// four in a row.
+func winAt(col, row, player) {
+	var d;
+	for (d = 0; d < 4; d = d + 1) {
+		var dc;
+		var dr;
+		switch (d) {
+		case 0: dc = 1; dr = 0;
+		case 1: dc = 0; dr = 1;
+		case 2: dc = 1; dr = 1;
+		default: dc = 1; dr = -1;
+		}
+		var run = 1 + lineLen(col, row, dc, dr, player) + lineLen(col, row, -dc, -dr, player);
+		if (run >= 4) { return 1; }
+	}
+	return 0;
+}
+
+// evalWindow scores one 4-cell window for player: open runs are worth
+// quadratically more.
+func evalWindow(i0, i1, i2, i3, player) {
+	var mine = 0;
+	var theirs = 0;
+	var other = 3 - player;
+	if (board[i0] == player) { mine = mine + 1; }
+	if (board[i1] == player) { mine = mine + 1; }
+	if (board[i2] == player) { mine = mine + 1; }
+	if (board[i3] == player) { mine = mine + 1; }
+	if (board[i0] == other) { theirs = theirs + 1; }
+	if (board[i1] == other) { theirs = theirs + 1; }
+	if (board[i2] == other) { theirs = theirs + 1; }
+	if (board[i3] == other) { theirs = theirs + 1; }
+	if (mine > 0 && theirs > 0) { return 0; }
+	if (mine > 0) { return mine * mine * mine; }
+	if (theirs > 0) { return -(theirs * theirs * theirs); }
+	return 0;
+}
+
+func evalBoard(player) {
+	var score = 0;
+	var c;
+	var r;
+	// Horizontal windows.
+	for (c = 0; c < 4; c = c + 1) {
+		for (r = 0; r < 6; r = r + 1) {
+			score = score + evalWindow(c * 7 + r, (c + 1) * 7 + r, (c + 2) * 7 + r, (c + 3) * 7 + r, player);
+		}
+	}
+	// Vertical windows.
+	for (c = 0; c < 7; c = c + 1) {
+		for (r = 0; r < 3; r = r + 1) {
+			score = score + evalWindow(c * 7 + r, c * 7 + r + 1, c * 7 + r + 2, c * 7 + r + 3, player);
+		}
+	}
+	// Diagonal windows (both directions).
+	for (c = 0; c < 4; c = c + 1) {
+		for (r = 0; r < 3; r = r + 1) {
+			score = score + evalWindow(c * 7 + r, (c + 1) * 7 + r + 1, (c + 2) * 7 + r + 2, (c + 3) * 7 + r + 3, player);
+			score = score + evalWindow(c * 7 + r + 3, (c + 1) * 7 + r + 2, (c + 2) * 7 + r + 1, (c + 3) * 7 + r, player);
+		}
+	}
+	// Center-column bonus.
+	for (r = 0; r < 6; r = r + 1) {
+		if (board[3 * 7 + r] == player) { score = score + 3; }
+	}
+	return score;
+}
+
+func orderCol(k) {
+	switch (k) {
+	case 0: return 3;
+	case 1: return 2;
+	case 2: return 4;
+	case 3: return 1;
+	case 4: return 5;
+	case 5: return 0;
+	default: return 6;
+	}
+	return 0;
+}
+
+// negamax returns the score of the position for player to move.
+func negamax(depth, alpha, beta, player) {
+	nodes = nodes + 1;
+	if (depth == 0) { return evalBoard(player); }
+	var best = -1000000;
+	var k;
+	for (k = 0; k < 7; k = k + 1) {
+		var col = orderCol(k);
+		if (heights[col] >= 6) { continue; }
+		var row = drop(col, player);
+		var score;
+		if (winAt(col, row, player) == 1) {
+			score = 100000 + depth;
+		} else {
+			score = -negamax(depth - 1, -beta, -alpha, 3 - player);
+		}
+		undo(col);
+		if (score > best) { best = score; }
+		if (best > alpha) { alpha = best; }
+		if (alpha >= beta) {
+			cutoffs = cutoffs + 1;
+			break;
+		}
+	}
+	if (best == -1000000) { return 0; }   // board full: draw
+	return best;
+}
+
+// bestMove picks the move for player at the given depth.
+func bestMove(depth, player) {
+	var best = -1000000;
+	var bestCol = -1;
+	var k;
+	for (k = 0; k < 7; k = k + 1) {
+		var col = orderCol(k);
+		if (heights[col] >= 6) { continue; }
+		var row = drop(col, player);
+		var score;
+		if (winAt(col, row, player) == 1) {
+			score = 100000 + depth;
+		} else {
+			score = -negamax(depth - 1, -1000000, 1000000, 3 - player);
+		}
+		undo(col);
+		if (score > best) {
+			best = score;
+			bestCol = col;
+		}
+	}
+	return bestCol * 1000000 + (best + 500000);
+}
+
+func main(input[], n) {
+	var depth = input[0];
+	var maxTurns = input[1];
+	var i;
+	for (i = 0; i < 49; i = i + 1) { board[i] = 0; }
+	for (i = 0; i < 7; i = i + 1) { heights[i] = 0; }
+	nodes = 0;
+	cutoffs = 0;
+	// Pre-seed the position from the input move list.
+	var player = 1;
+	for (i = 2; i < n; i = i + 1) {
+		var col = input[i] % 7;
+		if (col < 0) { col = col + 7; }
+		if (heights[col] < 6) {
+			drop(col, player);
+			player = 3 - player;
+		}
+	}
+	// Self-play.
+	var turn;
+	var winner = 0;
+	for (turn = 0; turn < maxTurns; turn = turn + 1) {
+		var packed = bestMove(depth, player);
+		var col = packed / 1000000;
+		if (col < 0) { break; }   // no legal move: draw
+		var score = packed % 1000000 - 500000;
+		var row = drop(col, player);
+		out(col * 10 + player);
+		if (winAt(col, row, player) == 1) {
+			winner = player;
+			break;
+		}
+		if (score > 90000) { out(-col - 1); }   // report forced wins found
+		player = 3 - player;
+	}
+	out(winner);
+	out(nodes);
+	out(cutoffs);
+	return nodes;
+}
+`
+
+// Go95 returns the SPEC95-preview game-search benchmark (not part of
+// All(); select it explicitly, e.g. `experiments -benchmarks go95` or
+// bench.Extended()).
+func Go95() *Benchmark {
+	return &Benchmark{
+		Name:        "go95",
+		Abbr:        "go9",
+		Description: "alpha-beta game-tree search, SPEC95 preview (cf. 099.go)",
+		Source:      go95Source,
+		DataSets: []DataSet{
+			{
+				Name:        "dp",
+				Description: "depth-5 self-play from an empty-ish position",
+				Make:        func() []interp.Input { return go95Input(5, 14, []int64{3, 3}) },
+			},
+			{
+				Name:        "sh",
+				Description: "depth-3 self-play from a busier position",
+				Make:        func() []interp.Input { return go95Input(3, 10, []int64{3, 3, 2, 4, 2, 5}) },
+			},
+		},
+	}
+}
+
+func go95Input(depth, turns int64, seedMoves []int64) []interp.Input {
+	data := append([]int64{depth, turns}, seedMoves...)
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}
+
+// Extended returns All() plus the SPEC95-preview benchmark.
+func Extended() []*Benchmark {
+	return append(All(), Go95())
+}

@@ -1,0 +1,145 @@
+package bench
+
+import "branchalign/internal/interp"
+
+// su2corSource is a lattice Monte-Carlo kernel: Metropolis updates of a
+// spin ring with an integer acceptance table and periodic measurement
+// sweeps — the statistical-mechanics analogue of 089.su2cor. Like the
+// original, it has a very low ratio of control penalties to execution
+// time (long arithmetic-heavy inner loops), making it the benchmark where
+// branch alignment helps least.
+const su2corSource = `
+// Metropolis sweeps over a ring of +/-1 spins with ferromagnetic
+// coupling. Fixed-point acceptance thresholds in a precomputed table.
+global lattice[4096];
+global accept[16];     // acceptance thresholds indexed by energy delta
+global seed;
+global accepted;
+global rejected;
+
+func lcgNext() {
+	seed = seed * 6364136223846793005 + 1442695040888963407;
+	var r = (seed >> 17) & 16383;
+	return r;
+}
+
+func setupAccept(beta) {
+	// accept[dE] ~ 16384 * exp(-beta*dE), crude integer decay table.
+	var v = 16384;
+	var i;
+	for (i = 0; i < 16; i = i + 1) {
+		accept[i] = v;
+		v = (v * 1024) / (1024 + beta * 97);
+		if (v < 1) { v = 1; }
+	}
+	return 0;
+}
+
+func energyDelta(i, size) {
+	var left = lattice[(i + size - 1) % size];
+	var right = lattice[(i + 1) % size];
+	// Flipping spin i changes energy by 2 * s_i * (left + right).
+	var d = 2 * lattice[i] * (left + right);
+	return d;
+}
+
+func sweepOnce(size) {
+	var flips = 0;
+	var i;
+	for (i = 0; i < size; i = i + 1) {
+		var d = energyDelta(i, size);
+		if (d <= 0) {
+			lattice[i] = -lattice[i];
+			flips = flips + 1;
+			accepted = accepted + 1;
+		} else {
+			var idx = d;
+			if (idx > 15) { idx = 15; }
+			if (lcgNext() < accept[idx]) {
+				lattice[i] = -lattice[i];
+				flips = flips + 1;
+				accepted = accepted + 1;
+			} else {
+				rejected = rejected + 1;
+			}
+		}
+	}
+	return flips;
+}
+
+func magnetization(size) {
+	var m = 0;
+	var i;
+	for (i = 0; i < size; i = i + 1) { m = m + lattice[i]; }
+	return m;
+}
+
+func correlation(size, dist) {
+	var c = 0;
+	var i;
+	for (i = 0; i < size; i = i + 1) {
+		c = c + lattice[i] * lattice[(i + dist) % size];
+	}
+	return c;
+}
+
+func main(input[], n) {
+	var sweeps = input[0];
+	var size = input[1];
+	if (size > 4096) { size = 4096; }
+	seed = input[2];
+	var beta = input[3];
+	setupAccept(beta);
+	accepted = 0;
+	rejected = 0;
+	var i;
+	for (i = 0; i < size; i = i + 1) {
+		if ((lcgNext() & 1) == 1) { lattice[i] = 1; } else { lattice[i] = -1; }
+	}
+	var k;
+	var totalFlips = 0;
+	for (k = 0; k < sweeps; k = k + 1) {
+		totalFlips = totalFlips + sweepOnce(size);
+		if (k % 4 == 3) {
+			out(magnetization(size));
+			out(correlation(size, 1));
+			out(correlation(size, 7));
+		}
+	}
+	out(accepted);
+	out(rejected);
+	return totalFlips;
+}
+`
+
+// Su2cor returns the lattice benchmark with reference ("re") and short
+// ("sh") runs.
+func Su2cor() *Benchmark {
+	return &Benchmark{
+		Name:        "su2cor",
+		Abbr:        "su2",
+		Description: "lattice Monte-Carlo spin updates (cf. 089.su2cor)",
+		Source:      su2corSource,
+		DataSets: []DataSet{
+			{
+				Name:        "re",
+				Description: "reference: 2048-site ring, 80 sweeps",
+				Make: func() []interp.Input {
+					return su2Input(80, 2048, 424242, 3)
+				},
+			},
+			{
+				Name:        "sh",
+				Description: "short: 512-site ring, 16 sweeps, colder",
+				Make: func() []interp.Input {
+					return su2Input(16, 512, 99991, 7)
+				},
+			},
+		},
+	}
+}
+
+func su2Input(sweeps, size, seed, beta int64) []interp.Input {
+	data := []int64{sweeps, size, seed, beta}
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"fmt"
+
+	"branchalign/internal/interp"
+)
+
+// VM opcodes shared between the Mini-C interpreter source below and the
+// Go-side assembler. The big dispatch switch is the benchmark's multiway
+// ("register") branch, exactly like the bytecode dispatch of 022.li.
+const (
+	opHalt  = 0
+	opPush  = 1 // PUSH imm
+	opLoad  = 2 // LOAD frame slot
+	opStore = 3 // STORE frame slot
+	opAdd   = 4
+	opSub   = 5
+	opMul   = 6
+	opDiv   = 7
+	opMod   = 8
+	opNeg   = 9
+	opJmp   = 10 // JMP addr
+	opJz    = 11 // pop; jump if zero
+	opJnz   = 12 // pop; jump if nonzero
+	opCall  = 13 // CALL addr nargs
+	opRet   = 14 // pop result; restore frame; push result
+	opDup   = 15
+	opLt    = 16
+	opLe    = 17
+	opEq    = 18
+	opNe    = 19
+	opGt    = 20
+	opGe    = 21
+	opOut   = 22
+	opAnd   = 23
+	opOr    = 24
+	opXor   = 25
+	opShl   = 26
+	opShr   = 27
+	opEnter = 28 // ENTER nlocals: reserve zeroed slots
+	opDrop  = 29
+)
+
+// xliSource is a stack-machine bytecode interpreter: the Mini-C analogue
+// of the Lisp interpreter 022.li. Programs arrive as data (input[1..]);
+// input[0] is the entry address.
+const xliSource = `
+// Stack-machine bytecode VM. The dispatch switch is a 30-way multiway
+// branch executed once per VM instruction.
+global code[4096];
+global stack[8192];
+global rstack[2048];   // return stack: (retpc, oldfp) pairs
+global vmSteps;
+
+func run(entry) {
+	var pc = entry;
+	var sp = 0;
+	var fp = 0;
+	var rsp = 0;
+	vmSteps = 0;
+	while (1) {
+		var op = code[pc];
+		pc = pc + 1;
+		vmSteps = vmSteps + 1;
+		switch (op) {
+		case 0:
+			return sp;
+		case 1:
+			stack[sp] = code[pc];
+			pc = pc + 1;
+			sp = sp + 1;
+		case 2:
+			stack[sp] = stack[fp + code[pc]];
+			pc = pc + 1;
+			sp = sp + 1;
+		case 3:
+			sp = sp - 1;
+			stack[fp + code[pc]] = stack[sp];
+			pc = pc + 1;
+		case 4:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] + stack[sp];
+		case 5:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] - stack[sp];
+		case 6:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] * stack[sp];
+		case 7:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] / stack[sp];
+		case 8:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] % stack[sp];
+		case 9:
+			stack[sp - 1] = -stack[sp - 1];
+		case 10:
+			pc = code[pc];
+		case 11:
+			sp = sp - 1;
+			if (stack[sp] == 0) { pc = code[pc]; } else { pc = pc + 1; }
+		case 12:
+			sp = sp - 1;
+			if (stack[sp] != 0) { pc = code[pc]; } else { pc = pc + 1; }
+		case 13:
+			rstack[rsp] = pc + 2;
+			rstack[rsp + 1] = fp;
+			rsp = rsp + 2;
+			fp = sp - code[pc + 1];
+			pc = code[pc];
+		case 14:
+			sp = sp - 1;
+			var rv = stack[sp];
+			sp = fp;
+			rsp = rsp - 2;
+			fp = rstack[rsp + 1];
+			pc = rstack[rsp];
+			stack[sp] = rv;
+			sp = sp + 1;
+		case 15:
+			stack[sp] = stack[sp - 1];
+			sp = sp + 1;
+		case 16:
+			sp = sp - 1;
+			if (stack[sp - 1] < stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 17:
+			sp = sp - 1;
+			if (stack[sp - 1] <= stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 18:
+			sp = sp - 1;
+			if (stack[sp - 1] == stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 19:
+			sp = sp - 1;
+			if (stack[sp - 1] != stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 20:
+			sp = sp - 1;
+			if (stack[sp - 1] > stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 21:
+			sp = sp - 1;
+			if (stack[sp - 1] >= stack[sp]) { stack[sp - 1] = 1; } else { stack[sp - 1] = 0; }
+		case 22:
+			sp = sp - 1;
+			out(stack[sp]);
+		case 23:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] & stack[sp];
+		case 24:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] | stack[sp];
+		case 25:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] ^ stack[sp];
+		case 26:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] << stack[sp];
+		case 27:
+			sp = sp - 1;
+			stack[sp - 1] = stack[sp - 1] >> stack[sp];
+		case 28:
+			var k = code[pc];
+			pc = pc + 1;
+			while (k > 0) {
+				stack[sp] = 0;
+				sp = sp + 1;
+				k = k - 1;
+			}
+		case 29:
+			sp = sp - 1;
+		default:
+			out(-424242);
+			return -1;
+		}
+	}
+	return 0;
+}
+
+func main(input[], n) {
+	var i;
+	for (i = 1; i < n; i = i + 1) { code[i - 1] = input[i]; }
+	run(input[0]);
+	out(vmSteps);
+	return vmSteps;
+}
+`
+
+// asm is a tiny bytecode assembler with labels.
+type asm struct {
+	code   []int64
+	labels map[string]int64
+	fixups map[int]string
+}
+
+func newAsm() *asm {
+	return &asm{labels: map[string]int64{}, fixups: map[int]string{}}
+}
+
+func (a *asm) label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("bench: duplicate VM label %q", name))
+	}
+	a.labels[name] = int64(len(a.code))
+}
+
+func (a *asm) emit(vals ...int64) { a.code = append(a.code, vals...) }
+
+// ref emits a placeholder slot resolved to the label's address.
+func (a *asm) ref(name string) {
+	a.fixups[len(a.code)] = name
+	a.code = append(a.code, -1)
+}
+
+func (a *asm) assemble() []int64 {
+	for at, name := range a.fixups {
+		addr, ok := a.labels[name]
+		if !ok {
+			panic(fmt.Sprintf("bench: undefined VM label %q", name))
+		}
+		a.code[at] = addr
+	}
+	return a.code
+}
+
+// newtonProgram computes integer square roots of the given values by
+// Newton's method and OUTs each, then halts. It is intentionally a very
+// short-running program: the paper's xli.ne data set "runs for a very
+// short time; it turns out to be a poor training set".
+func newtonProgram(values []int64) []int64 {
+	a := newAsm()
+	// main: for each value: PUSH v; CALL isqrt 1; OUT
+	for _, v := range values {
+		a.emit(opPush, v)
+		a.emit(opCall)
+		a.ref("isqrt")
+		a.emit(1)
+		a.emit(opOut)
+	}
+	a.emit(opHalt)
+
+	// isqrt(x): locals x=0, guess=1, next=2
+	a.label("isqrt")
+	a.emit(opEnter, 2)
+	// if x < 2 return x
+	a.emit(opLoad, 0, opPush, 2, opLt)
+	a.emit(opJz)
+	a.ref("isqrt.big")
+	a.emit(opLoad, 0, opRet)
+	a.label("isqrt.big")
+	// guess = x/2
+	a.emit(opLoad, 0, opPush, 2, opDiv, opStore, 1)
+	a.label("isqrt.loop")
+	// next = (guess + x/guess) / 2
+	a.emit(opLoad, 1, opLoad, 0, opLoad, 1, opDiv, opAdd, opPush, 2, opDiv, opStore, 2)
+	// if next >= guess: return guess
+	a.emit(opLoad, 2, opLoad, 1, opGe)
+	a.emit(opJz)
+	a.ref("isqrt.cont")
+	a.emit(opLoad, 1, opRet)
+	a.label("isqrt.cont")
+	a.emit(opLoad, 2, opStore, 1)
+	a.emit(opJmp)
+	a.ref("isqrt.loop")
+	return a.assemble()
+}
+
+// queensProgram counts N-queens solutions with the bitmask recursion,
+// running the whole search `repeat` times, and OUTs the solution count
+// each time.
+func queensProgram(n int64, repeat int) []int64 {
+	a := newAsm()
+	all := (int64(1) << n) - 1
+	for r := 0; r < repeat; r++ {
+		// solve(cols=0, ld=0, rd=0, all)
+		a.emit(opPush, 0, opPush, 0, opPush, 0, opPush, all)
+		a.emit(opCall)
+		a.ref("solve")
+		a.emit(4)
+		a.emit(opOut)
+	}
+	a.emit(opHalt)
+
+	// solve(cols=0, ld=1, rd=2, all=3) locals: count=4, poss=5, bit=6
+	a.label("solve")
+	a.emit(opEnter, 3)
+	// if cols == all return 1
+	a.emit(opLoad, 0, opLoad, 3, opEq)
+	a.emit(opJz)
+	a.ref("solve.search")
+	a.emit(opPush, 1, opRet)
+	a.label("solve.search")
+	// poss = all ^ ((cols | ld | rd) & all)
+	a.emit(opLoad, 3, opLoad, 0, opLoad, 1, opOr, opLoad, 2, opOr, opLoad, 3, opAnd, opXor, opStore, 5)
+	a.label("solve.loop")
+	// while poss != 0
+	a.emit(opLoad, 5)
+	a.emit(opJz)
+	a.ref("solve.done")
+	// bit = poss & -poss
+	a.emit(opLoad, 5, opLoad, 5, opNeg, opAnd, opStore, 6)
+	// poss = poss ^ bit
+	a.emit(opLoad, 5, opLoad, 6, opXor, opStore, 5)
+	// count += solve(cols|bit, ((ld|bit)<<1) & all, (rd|bit)>>1, all)
+	a.emit(opLoad, 0, opLoad, 6, opOr)                                     // cols|bit
+	a.emit(opLoad, 1, opLoad, 6, opOr, opPush, 1, opShl, opLoad, 3, opAnd) // (ld|bit)<<1 & all
+	a.emit(opLoad, 2, opLoad, 6, opOr, opPush, 1, opShr)                   // (rd|bit)>>1
+	a.emit(opLoad, 3)                                                      // all
+	a.emit(opCall)
+	a.ref("solve")
+	a.emit(4)
+	a.emit(opLoad, 4, opAdd, opStore, 4)
+	a.emit(opJmp)
+	a.ref("solve.loop")
+	a.label("solve.done")
+	a.emit(opLoad, 4, opRet)
+	return a.assemble()
+}
+
+// vmInput wraps a program as the benchmark entry input: input[0] is the
+// VM entry address (always 0), input[1..] the code image.
+func vmInput(code []int64) []interp.Input {
+	if len(code) > 4096 {
+		panic(fmt.Sprintf("bench: VM program of %d slots exceeds code store", len(code)))
+	}
+	data := make([]int64, 0, len(code)+1)
+	data = append(data, 0)
+	data = append(data, code...)
+	return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+}
+
+// Xli returns the bytecode-VM benchmark with the 7-queens search ("q7")
+// and the deliberately tiny Newton's-method run ("ne").
+func Xli() *Benchmark {
+	return &Benchmark{
+		Name:        "xli",
+		Abbr:        "xli",
+		Description: "bytecode stack-VM interpreter (cf. 022.li)",
+		Source:      xliSource,
+		DataSets: []DataSet{
+			{
+				Name:        "q7",
+				Description: "7-queens search, repeated 6 times",
+				Make:        func() []interp.Input { return vmInput(queensProgram(7, 6)) },
+			},
+			{
+				Name:        "ne",
+				Description: "Newton's method integer sqrt of 12 values (very short run)",
+				Make: func() []interp.Input {
+					return vmInput(newtonProgram([]int64{
+						2, 10, 99, 1024, 5000, 65536, 123456, 999999,
+						31337, 7, 444444, 1 << 40,
+					}))
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,193 @@
+// Package core ties the reproduction together: it compiles the benchmark
+// suite, collects profiles and traces, runs the aligners, and implements
+// one driver per table and figure of the paper (see DESIGN.md for the
+// experiment index). cmd/experiments and the repository-level benchmarks
+// are thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+
+	"branchalign/internal/align"
+	"branchalign/internal/bench"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/pipe"
+	"branchalign/internal/tsp"
+)
+
+// Cost re-exports the cycle type.
+type Cost = machine.Cost
+
+// Suite is a lazily-evaluated experiment context: modules, profiles and
+// traces are computed once and shared across experiments.
+type Suite struct {
+	// Model is the penalty model (default Alpha 21164).
+	Model machine.Model
+	// Cache is the I-cache simulated for execution times.
+	Cache pipe.CacheConfig
+	// Seed drives every randomized component deterministically.
+	Seed int64
+	// HKOpts configures the Held-Karp bound.
+	HKOpts tsp.HeldKarpOptions
+	// MaxSteps bounds each profiling/tracing interpreter run.
+	MaxSteps int64
+
+	benchmarks []*bench.Benchmark
+	mods       map[string]*ir.Module
+	profiles   map[string]*profileRun
+	traces     map[string]*pipe.Trace
+	layouts    map[string]map[string]*layout.Layout
+}
+
+type profileRun struct {
+	prof *interp.Profile
+	res  interp.Result
+}
+
+// NewSuite builds a Suite over the full benchmark set with the paper's
+// machine model.
+func NewSuite(seed int64) *Suite {
+	return &Suite{
+		Model: machine.Alpha21164(),
+		Cache: pipe.DefaultCache(),
+		Seed:  seed,
+		// The paper's Held-Karp bounds average within 0.3% of the optimum;
+		// reaching comparable tightness takes a few thousand subgradient
+		// iterations on the larger (switch-heavy) instances.
+		HKOpts:     tsp.HeldKarpOptions{Iterations: 3000},
+		MaxSteps:   1 << 31,
+		benchmarks: bench.All(),
+		mods:       map[string]*ir.Module{},
+		profiles:   map[string]*profileRun{},
+		traces:     map[string]*pipe.Trace{},
+		layouts:    map[string]map[string]*layout.Layout{},
+	}
+}
+
+// WithBenchmarks restricts the suite (used by fast tests).
+func (s *Suite) WithBenchmarks(names ...string) (*Suite, error) {
+	var picked []*bench.Benchmark
+	for _, n := range names {
+		b, err := bench.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		picked = append(picked, b)
+	}
+	s.benchmarks = picked
+	return s, nil
+}
+
+// Benchmarks returns the active benchmark set.
+func (s *Suite) Benchmarks() []*bench.Benchmark { return s.benchmarks }
+
+// Module compiles (and caches) a benchmark.
+func (s *Suite) Module(b *bench.Benchmark) (*ir.Module, error) {
+	if m, ok := s.mods[b.Name]; ok {
+		return m, nil
+	}
+	m, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	s.mods[b.Name] = m
+	return m, nil
+}
+
+func dsKey(b *bench.Benchmark, ds *bench.DataSet) string {
+	return b.Name + "." + ds.Name
+}
+
+// ProfileOf runs (and caches) the profiling execution of b on ds — the
+// "instrumented program" run of the paper's methodology.
+func (s *Suite) ProfileOf(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profile, interp.Result, error) {
+	key := dsKey(b, ds)
+	if pr, ok := s.profiles[key]; ok {
+		return pr.prof, pr.res, nil
+	}
+	mod, err := s.Module(b)
+	if err != nil {
+		return nil, interp.Result{}, err
+	}
+	prof := interp.NewProfile(mod)
+	res, err := interp.Run(mod, ds.Make(), interp.Options{Profile: prof, MaxSteps: s.MaxSteps})
+	if err != nil {
+		return nil, res, fmt.Errorf("core: profiling %s: %w", key, err)
+	}
+	s.profiles[key] = &profileRun{prof: prof, res: res}
+	return prof, res, nil
+}
+
+// TraceOf records (and caches) the dynamic edge trace of b on ds, shared
+// by all layout simulations of that run.
+func (s *Suite) TraceOf(b *bench.Benchmark, ds *bench.DataSet) (*pipe.Trace, error) {
+	key := dsKey(b, ds)
+	if tr, ok := s.traces[key]; ok {
+		return tr, nil
+	}
+	mod, err := s.Module(b)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := pipe.Record(mod, ds.Make(), interp.Options{MaxSteps: s.MaxSteps})
+	if err != nil {
+		return nil, fmt.Errorf("core: tracing %s: %w", key, err)
+	}
+	s.traces[key] = tr
+	return tr, nil
+}
+
+// Aligners returns the three aligners every experiment compares:
+// original, greedy (Pettis-Hansen) and TSP, in that order.
+func (s *Suite) Aligners() []align.Aligner {
+	tspAligner := align.NewTSP(s.Seed)
+	tspAligner.Parallel = true // bit-identical to sequential, faster
+	return []align.Aligner{
+		align.Original{},
+		align.PettisHansen{},
+		tspAligner,
+	}
+}
+
+// AlignAll produces the three layouts for a training profile.
+func (s *Suite) AlignAll(mod *ir.Module, prof *interp.Profile) map[string]*layout.Layout {
+	out := map[string]*layout.Layout{}
+	for _, a := range s.Aligners() {
+		out[a.Name()] = a.Align(mod, prof, s.Model)
+	}
+	return out
+}
+
+// LayoutsOf returns (and caches) the three layouts trained on the given
+// data set's profile.
+func (s *Suite) LayoutsOf(b *bench.Benchmark, ds *bench.DataSet) (map[string]*layout.Layout, error) {
+	key := dsKey(b, ds)
+	if ls, ok := s.layouts[key]; ok {
+		return ls, nil
+	}
+	mod, err := s.Module(b)
+	if err != nil {
+		return nil, err
+	}
+	prof, _, err := s.ProfileOf(b, ds)
+	if err != nil {
+		return nil, err
+	}
+	ls := s.AlignAll(mod, prof)
+	s.layouts[key] = ls
+	return ls, nil
+}
+
+// SimulateCycles replays the recorded trace of (b, ds) under a layout
+// and returns the simulated execution time in cycles.
+func (s *Suite) SimulateCycles(b *bench.Benchmark, ds *bench.DataSet, mod *ir.Module, l *layout.Layout) (pipe.Stats, error) {
+	tr, err := s.TraceOf(b, ds)
+	if err != nil {
+		return pipe.Stats{}, err
+	}
+	cfg := pipe.Config{Model: s.Model, Cache: s.Cache}
+	return pipe.Replay(tr, mod, l, cfg), nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"branchalign/internal/pipe"
+)
+
+func TestExtCacheAware(t *testing.T) {
+	s := fastSuite(t)
+	rows, err := s.ExtCacheAware(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The aware layout optimizes a surcharged objective, so its plain
+		// control penalty can only be >= the plain layout's (which is
+		// near-optimal for the plain objective).
+		if r.AwareCP < r.PlainCP {
+			t.Errorf("%s.%s: aware CP %d below plain %d (plain should be optimal for plain weights)",
+				r.Bench, r.DataSet, r.AwareCP, r.PlainCP)
+		}
+		if r.PlainCycles <= 0 || r.AwareCycles <= 0 {
+			t.Errorf("%s.%s: empty simulation", r.Bench, r.DataSet)
+		}
+		// The surcharge is a bias, not a pessimization: simulated time
+		// must stay within a few percent of the plain layout.
+		if float64(r.AwareCycles) > 1.05*float64(r.PlainCycles) {
+			t.Errorf("%s.%s: cache-aware layout much slower: %d vs %d",
+				r.Bench, r.DataSet, r.AwareCycles, r.PlainCycles)
+		}
+	}
+}
+
+func TestExtProcOrder(t *testing.T) {
+	s := fastSuite(t)
+	rows, err := s.ExtProcOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PlainCycles <= 0 || r.OrderCycles <= 0 {
+			t.Fatalf("%s.%s: empty simulation", r.Bench, r.DataSet)
+		}
+		// Function order does not change penalties, only cache behavior,
+		// so cycle changes are bounded by miss-count changes.
+		dCycles := r.OrderCycles - r.PlainCycles
+		dMisses := (r.OrderMisses - r.PlainMisses) * 10
+		if dCycles != dMisses {
+			t.Errorf("%s.%s: cycle delta %d != miss-penalty delta %d", r.Bench, r.DataSet, dCycles, dMisses)
+		}
+	}
+}
+
+func TestExtOptimize(t *testing.T) {
+	s := fastSuite(t)
+	rows, err := s.ExtOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptBlocks > r.RawBlocks {
+			t.Errorf("%s.%s: optimizer grew the CFG %d -> %d", r.Bench, r.DataSet, r.RawBlocks, r.OptBlocks)
+		}
+		if r.OptOrigCP > r.RawOrigCP {
+			t.Errorf("%s.%s: optimizer increased original-layout penalty %d -> %d",
+				r.Bench, r.DataSet, r.RawOrigCP, r.OptOrigCP)
+		}
+		if r.RawTSPCP <= 0 || r.RawTSPCP > 1 || r.OptTSPCP <= 0 || r.OptTSPCP > 1 {
+			t.Errorf("%s.%s: normalized penalties out of range: %+v", r.Bench, r.DataSet, r)
+		}
+	}
+}
+
+func TestExtPredictor(t *testing.T) {
+	s := fastSuite(t)
+	rows, err := s.ExtPredictor(pipe.PredictorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.StaticTSPCycles > r.StaticOrigCycles {
+			t.Errorf("%s.%s: TSP slower than original under static prediction", r.Bench, r.DataSet)
+		}
+		if r.DynTSPCycles <= 0 || r.DynOrigCycles <= 0 {
+			t.Errorf("%s.%s: empty dynamic simulation", r.Bench, r.DataSet)
+		}
+		if r.StaticTSPMispred < 0 || r.DynTSPMispred < 0 {
+			t.Errorf("%s.%s: negative mispredict counts", r.Bench, r.DataSet)
+		}
+	}
+}
+func TestExtUnionTraining(t *testing.T) {
+	s := fastSuite(t)
+	rows, err := s.ExtUnionTraining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selfSum, crossSum, unionSum float64
+	for _, r := range rows {
+		if r.SelfCP <= 0 || r.CrossCP <= 0 || r.UnionCP <= 0 {
+			t.Errorf("%s.%s: non-positive normalized penalties: %+v", r.Bench, r.TestSet, r)
+		}
+		selfSum += r.SelfCP
+		crossSum += r.CrossCP
+		unionSum += r.UnionCP
+	}
+	// Union training must recover some of the gap between cross and self
+	// training in aggregate (it has strictly more information than either
+	// single-input trainer).
+	if unionSum > crossSum+1e-9 {
+		t.Errorf("union-trained penalty %.4f worse than cross-trained %.4f in aggregate", unionSum, crossSum)
+	}
+	if selfSum > unionSum+1e-9 {
+		t.Logf("self %.4f <= union %.4f as expected", selfSum, unionSum)
+	}
+}

@@ -1,0 +1,384 @@
+// Package interp executes IR modules directly. It plays the role of the
+// paper's HALT-instrumented profiling runs: executing a program on a
+// training input yields the CFG edge-frequency profile that drives branch
+// alignment, and (optionally) the dynamic basic-block trace that drives
+// the pipeline/cache simulator of package pipe.
+package interp
+
+import (
+	"fmt"
+
+	"branchalign/internal/ir"
+)
+
+// Input is one argument for the entry function.
+type Input struct {
+	IsArray bool
+	Scalar  int64
+	Array   []int64
+}
+
+// ScalarInput wraps a scalar entry argument.
+func ScalarInput(v int64) Input { return Input{Scalar: v} }
+
+// ArrayInput wraps an array entry argument (shared with the callee, as
+// all arrays are).
+func ArrayInput(a []int64) Input { return Input{IsArray: true, Array: a} }
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds the number of executed IR instructions (0 means the
+	// default of 2^31). Exceeding it aborts the run with an error.
+	MaxSteps int64
+	// MaxDepth bounds the call stack (0 means the default of 4096).
+	MaxDepth int
+	// Profile, when non-nil, accumulates edge counts during the run.
+	Profile *Profile
+	// Trace, when non-nil, is invoked for every basic block entered, in
+	// execution order, with the function and block index.
+	Trace func(fn, block int)
+	// EdgeTrace, when non-nil, is invoked at every executed terminator
+	// with the taken successor index (-1 for returns). Together with the
+	// block identity this is the exact dynamic control-flow record the
+	// pipeline simulator (package pipe) replays.
+	EdgeTrace func(fn, block, succIdx int)
+}
+
+const (
+	defaultMaxSteps = int64(1) << 31
+	defaultMaxDepth = 4096
+)
+
+// Result summarizes a run.
+type Result struct {
+	// Ret is the entry function's return value.
+	Ret int64
+	// Output is the stream produced by the out() builtin.
+	Output []int64
+	// Steps counts executed IR instructions, including terminators.
+	Steps int64
+	// DynCond, DynSwitch, DynBr, DynRet and DynCall count executed
+	// terminators and calls by kind (the paper's "executed branch
+	// instructions" corresponds to DynCond + DynSwitch + DynBr).
+	DynCond   int64
+	DynSwitch int64
+	DynBr     int64
+	DynRet    int64
+	DynCall   int64
+}
+
+// DynBranches returns the paper's "executed branch instructions" metric:
+// intraprocedural control-transfer instructions executed.
+func (r *Result) DynBranches() int64 { return r.DynCond + r.DynSwitch + r.DynBr }
+
+// RuntimeError is an execution failure with location context.
+type RuntimeError struct {
+	Func  string
+	Block int
+	Msg   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("interp: %s (in %s, block b%d)", e.Msg, e.Func, e.Block)
+}
+
+type machine struct {
+	mod      *ir.Module
+	globals  []int64
+	garrays  [][]int64
+	opts     Options
+	res      Result
+	depth    int
+	maxSteps int64
+	maxDepth int
+}
+
+// Run executes the module's entry function with the given inputs.
+func Run(mod *ir.Module, inputs []Input, opts Options) (Result, error) {
+	m := &machine{
+		mod:      mod,
+		globals:  make([]int64, len(mod.GlobalNames)),
+		garrays:  make([][]int64, len(mod.GlobalArrays)),
+		opts:     opts,
+		maxSteps: opts.MaxSteps,
+		maxDepth: opts.MaxDepth,
+	}
+	if m.maxSteps <= 0 {
+		m.maxSteps = defaultMaxSteps
+	}
+	if m.maxDepth <= 0 {
+		m.maxDepth = defaultMaxDepth
+	}
+	for i, g := range mod.GlobalArrays {
+		m.garrays[i] = make([]int64, g.Size)
+	}
+	if opts.Profile != nil {
+		opts.Profile.init(mod)
+	}
+	entry := mod.Funcs[mod.EntryFunc]
+	if len(inputs) != len(entry.Params) {
+		return Result{}, fmt.Errorf("interp: entry %s takes %d arguments, got %d", entry.Name, len(entry.Params), len(inputs))
+	}
+	frameArgs := make([]frameArg, len(inputs))
+	for i, in := range inputs {
+		if entry.Params[i] == ir.ParamArray {
+			if !in.IsArray {
+				return Result{}, fmt.Errorf("interp: entry argument %d must be an array", i)
+			}
+			frameArgs[i] = frameArg{isArray: true, arr: in.Array}
+		} else {
+			if in.IsArray {
+				return Result{}, fmt.Errorf("interp: entry argument %d must be a scalar", i)
+			}
+			frameArgs[i] = frameArg{scalar: in.Scalar}
+		}
+	}
+	ret, err := m.call(mod.EntryFunc, frameArgs)
+	if err != nil {
+		return Result{}, err
+	}
+	m.res.Ret = ret
+	return m.res, nil
+}
+
+type frameArg struct {
+	isArray bool
+	scalar  int64
+	arr     []int64
+}
+
+func (m *machine) call(fnIdx int, args []frameArg) (int64, error) {
+	f := m.mod.Funcs[fnIdx]
+	if m.depth >= m.maxDepth {
+		return 0, &RuntimeError{Func: f.Name, Block: 0, Msg: fmt.Sprintf("call stack exceeded %d frames", m.maxDepth)}
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+
+	regs := make([]int64, f.NumRegs)
+	arrays := make([][]int64, 0, f.NumArrayParams()+len(f.LocalArraySizes))
+	nextScalar := 0
+	for i, a := range args {
+		if f.Params[i] == ir.ParamArray {
+			arrays = append(arrays, a.arr)
+		} else {
+			regs[nextScalar] = a.scalar
+			nextScalar++
+		}
+	}
+	for _, size := range f.LocalArraySizes {
+		arrays = append(arrays, make([]int64, size))
+	}
+
+	var prof *FuncProfile
+	if m.opts.Profile != nil {
+		prof = m.opts.Profile.Funcs[fnIdx]
+	}
+
+	cur := 0
+	for {
+		blk := f.Blocks[cur]
+		if m.opts.Trace != nil {
+			m.opts.Trace(fnIdx, cur)
+		}
+		if prof != nil {
+			prof.BlockCounts[cur]++
+		}
+		for i := range blk.Instrs {
+			if err := m.exec(fnIdx, f, blk, &blk.Instrs[i], regs, arrays); err != nil {
+				return 0, err
+			}
+		}
+		m.res.Steps++
+		if m.res.Steps > m.maxSteps {
+			return 0, &RuntimeError{Func: f.Name, Block: cur, Msg: fmt.Sprintf("step budget of %d exceeded", m.maxSteps)}
+		}
+		t := &blk.Term
+		switch t.Kind {
+		case ir.TermBr:
+			m.res.DynBr++
+			if prof != nil {
+				prof.EdgeCounts[cur][0]++
+			}
+			if m.opts.EdgeTrace != nil {
+				m.opts.EdgeTrace(fnIdx, cur, 0)
+			}
+			cur = t.Succs[0]
+		case ir.TermCondBr:
+			m.res.DynCond++
+			succIdx := 1
+			if m.eval(t.Cond, regs) != 0 {
+				succIdx = 0
+			}
+			if prof != nil {
+				prof.EdgeCounts[cur][succIdx]++
+			}
+			if m.opts.EdgeTrace != nil {
+				m.opts.EdgeTrace(fnIdx, cur, succIdx)
+			}
+			cur = t.Succs[succIdx]
+		case ir.TermSwitch:
+			m.res.DynSwitch++
+			v := m.eval(t.Cond, regs)
+			succIdx := len(t.Cases) // default
+			for ci, cv := range t.Cases {
+				if v == cv {
+					succIdx = ci
+					break
+				}
+			}
+			if prof != nil {
+				prof.EdgeCounts[cur][succIdx]++
+			}
+			if m.opts.EdgeTrace != nil {
+				m.opts.EdgeTrace(fnIdx, cur, succIdx)
+			}
+			cur = t.Succs[succIdx]
+		case ir.TermRet:
+			m.res.DynRet++
+			if m.opts.EdgeTrace != nil {
+				m.opts.EdgeTrace(fnIdx, cur, -1)
+			}
+			return m.eval(t.Val, regs), nil
+		}
+	}
+}
+
+func (m *machine) eval(v ir.Value, regs []int64) int64 {
+	if v.IsConst {
+		return v.Const
+	}
+	return regs[v.Reg]
+}
+
+func (m *machine) exec(fnIdx int, f *ir.Func, blk *ir.Block, in *ir.Instr, regs []int64, arrays [][]int64) error {
+	m.res.Steps++
+	if m.res.Steps > m.maxSteps {
+		return &RuntimeError{Func: f.Name, Block: blk.ID, Msg: fmt.Sprintf("step budget of %d exceeded", m.maxSteps)}
+	}
+	fail := func(format string, args ...any) error {
+		return &RuntimeError{Func: f.Name, Block: blk.ID, Msg: fmt.Sprintf(format, args...)}
+	}
+	arrayFor := func(ref ir.ArrayRef) []int64 {
+		if ref.Global {
+			return m.garrays[ref.Index]
+		}
+		return arrays[ref.Index]
+	}
+	switch in.Kind {
+	case ir.InstrConst, ir.InstrMove:
+		regs[in.Dst] = m.eval(in.A, regs)
+	case ir.InstrBin:
+		a := m.eval(in.A, regs)
+		b := m.eval(in.B, regs)
+		r, err := binOp(in.Op, a, b)
+		if err != nil {
+			return fail("%v", err)
+		}
+		regs[in.Dst] = r
+	case ir.InstrUn:
+		a := m.eval(in.A, regs)
+		if in.Op == ir.OpNeg {
+			regs[in.Dst] = -a
+		} else if a == 0 {
+			regs[in.Dst] = 1
+		} else {
+			regs[in.Dst] = 0
+		}
+	case ir.InstrLoad:
+		arr := arrayFor(in.Arr)
+		idx := m.eval(in.A, regs)
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fail("array read out of bounds: index %d, length %d", idx, len(arr))
+		}
+		regs[in.Dst] = arr[idx]
+	case ir.InstrStore:
+		arr := arrayFor(in.Arr)
+		idx := m.eval(in.A, regs)
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fail("array write out of bounds: index %d, length %d", idx, len(arr))
+		}
+		arr[idx] = m.eval(in.B, regs)
+	case ir.InstrGLoad:
+		regs[in.Dst] = m.globals[in.GIndex]
+	case ir.InstrGStore:
+		m.globals[in.GIndex] = m.eval(in.A, regs)
+	case ir.InstrCall:
+		m.res.DynCall++
+		if m.opts.Profile != nil {
+			m.opts.Profile.CallCounts[fnIdx][in.Callee]++
+		}
+		callArgs := make([]frameArg, len(in.Args))
+		for i, a := range in.Args {
+			if a.IsArray {
+				callArgs[i] = frameArg{isArray: true, arr: arrayFor(a.Arr)}
+			} else {
+				callArgs[i] = frameArg{scalar: m.eval(a.Val, regs)}
+			}
+		}
+		ret, err := m.call(in.Callee, callArgs)
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = ret
+	case ir.InstrOut:
+		m.res.Output = append(m.res.Output, m.eval(in.A, regs))
+	default:
+		return fail("unknown instruction kind %d", in.Kind)
+	}
+	return nil
+}
+
+// binOp applies a binary operator with Mini-C semantics: 64-bit wrapping
+// arithmetic, comparisons yielding 0/1, shift counts masked to 0..63, and
+// division/remainder by zero reported as errors.
+func binOp(op ir.Op, a, b int64) (int64, error) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, nil
+	case ir.OpSub:
+		return a - b, nil
+	case ir.OpMul:
+		return a * b, nil
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case ir.OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return a % b, nil
+	case ir.OpAnd:
+		return a & b, nil
+	case ir.OpOr:
+		return a | b, nil
+	case ir.OpXor:
+		return a ^ b, nil
+	case ir.OpShl:
+		return a << (uint64(b) & 63), nil
+	case ir.OpShr:
+		return a >> (uint64(b) & 63), nil
+	case ir.OpEq:
+		return b2i(a == b), nil
+	case ir.OpNe:
+		return b2i(a != b), nil
+	case ir.OpLt:
+		return b2i(a < b), nil
+	case ir.OpLe:
+		return b2i(a <= b), nil
+	case ir.OpGt:
+		return b2i(a > b), nil
+	case ir.OpGe:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("operator %v is not binary", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"branchalign/internal/ir"
+)
+
+// WriteJSON serializes the profile. The paper's toolchain passed profile
+// data between separate programs as files ("The TSP Matrix column shows
+// the time to transform the profile data into DTSP problem matrices");
+// this is the equivalent interchange format.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// ReadProfileJSON deserializes a profile and validates its shape against
+// mod, so stale profiles from a different program version are rejected
+// instead of corrupting alignment.
+func ReadProfileJSON(r io.Reader, mod *ir.Module) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("interp: decoding profile: %w", err)
+	}
+	if err := p.CheckShape(mod); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// CheckShape verifies that the profile's dimensions match mod.
+func (p *Profile) CheckShape(mod *ir.Module) error {
+	if len(p.Funcs) != len(mod.Funcs) {
+		return fmt.Errorf("interp: profile has %d functions, module has %d", len(p.Funcs), len(mod.Funcs))
+	}
+	if len(p.CallCounts) != len(mod.Funcs) {
+		return fmt.Errorf("interp: profile call matrix has %d rows, module has %d functions", len(p.CallCounts), len(mod.Funcs))
+	}
+	for fi, f := range mod.Funcs {
+		fp := p.Funcs[fi]
+		if fp == nil {
+			return fmt.Errorf("interp: profile missing function %d (%s)", fi, f.Name)
+		}
+		if len(fp.BlockCounts) != len(f.Blocks) || len(fp.EdgeCounts) != len(f.Blocks) {
+			return fmt.Errorf("interp: profile for %s has %d blocks, function has %d", f.Name, len(fp.BlockCounts), len(f.Blocks))
+		}
+		if len(p.CallCounts[fi]) != len(mod.Funcs) {
+			return fmt.Errorf("interp: profile call matrix row %d has wrong width", fi)
+		}
+		for bi, b := range f.Blocks {
+			if len(fp.EdgeCounts[bi]) != len(b.Term.Succs) {
+				return fmt.Errorf("interp: profile for %s block b%d has %d edges, terminator has %d successors",
+					f.Name, bi, len(fp.EdgeCounts[bi]), len(b.Term.Succs))
+			}
+			for si, c := range fp.EdgeCounts[bi] {
+				if c < 0 {
+					return fmt.Errorf("interp: negative edge count at %s b%d succ %d", f.Name, bi, si)
+				}
+			}
+		}
+	}
+	return nil
+}

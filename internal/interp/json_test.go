@@ -1,0 +1,68 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	mod := compile(t, `
+func helper(x) { if (x > 0) { return 1; } return 0; }
+func main(n) {
+	var i;
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + helper(i - 5); }
+	return s;
+}
+`)
+	prof := NewProfile(mod)
+	if _, err := Run(mod, []Input{ScalarInput(20)}, Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfileJSON(&buf, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range prof.Funcs {
+		for bi := range prof.Funcs[fi].BlockCounts {
+			if back.Funcs[fi].BlockCounts[bi] != prof.Funcs[fi].BlockCounts[bi] {
+				t.Fatalf("block counts changed in round trip")
+			}
+			for si := range prof.Funcs[fi].EdgeCounts[bi] {
+				if back.Funcs[fi].EdgeCounts[bi][si] != prof.Funcs[fi].EdgeCounts[bi][si] {
+					t.Fatalf("edge counts changed in round trip")
+				}
+			}
+		}
+	}
+	if back.CallCounts[mod.EntryFunc][mod.FuncIndex("helper")] != 20 {
+		t.Errorf("call counts changed in round trip")
+	}
+}
+
+func TestReadProfileJSONRejectsWrongShape(t *testing.T) {
+	mod := compile(t, `func main(n) { if (n) { return 1; } return 0; }`)
+	other := compile(t, `func main(n) { return n; } func extra() { return 0; }`)
+	prof := NewProfile(mod)
+	if _, err := Run(mod, []Input{ScalarInput(1)}, Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileJSON(&buf, other); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+	if _, err := ReadProfileJSON(strings.NewReader("{garbage"), mod); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadProfileJSON(strings.NewReader(`{"Funcs":[{"BlockCounts":[-1],"EdgeCounts":[[]]}],"CallCounts":[[0]]}`), mod); err == nil {
+		t.Error("expected validation error for malformed profile")
+	}
+}

@@ -1,0 +1,140 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBinaryOperatorSemantics pins the semantics of every Mini-C binary
+// operator via the interpreter, including the edge cases: Go-style
+// truncated division for negatives, wrapping 64-bit arithmetic, shift
+// count masking, and 0/1 comparison results.
+func TestBinaryOperatorSemantics(t *testing.T) {
+	cases := []struct {
+		op      string
+		a, b    int64
+		want    int64
+		comment string
+	}{
+		{"+", 3, 4, 7, ""},
+		{"+", 1<<62 + (1<<62 - 1), 1, -(1 << 63), "wraps like int64"},
+		{"-", 3, 4, -1, ""},
+		{"*", -3, 4, -12, ""},
+		{"/", 7, 2, 3, ""},
+		{"/", -7, 2, -3, "truncated toward zero"},
+		{"/", 7, -2, -3, "truncated toward zero"},
+		{"%", 7, 3, 1, ""},
+		{"%", -7, 3, -1, "sign of dividend"},
+		{"%", 7, -3, 1, "sign of dividend"},
+		{"&", 12, 10, 8, ""},
+		{"|", 12, 10, 14, ""},
+		{"^", 12, 10, 6, ""},
+		{"<<", 1, 4, 16, ""},
+		{"<<", 1, 64, 1, "shift count masked to 0..63"},
+		{"<<", 1, 65, 2, "shift count masked to 0..63"},
+		{">>", -8, 1, -4, "arithmetic shift"},
+		{">>", 16, 68, 1, "shift count masked"},
+		{"==", 5, 5, 1, ""},
+		{"==", 5, 6, 0, ""},
+		{"!=", 5, 6, 1, ""},
+		{"<", 5, 6, 1, ""},
+		{"<", 6, 5, 0, ""},
+		{"<=", 5, 5, 1, ""},
+		{">", 6, 5, 1, ""},
+		{">=", 5, 6, 0, ""},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf(`func main(a, b) { return a %s b; }`, c.op)
+		mod := compile(t, src)
+		res, err := Run(mod, []Input{ScalarInput(c.a), ScalarInput(c.b)}, Options{})
+		if err != nil {
+			t.Errorf("%d %s %d: %v", c.a, c.op, c.b, err)
+			continue
+		}
+		if res.Ret != c.want {
+			t.Errorf("%d %s %d = %d, want %d (%s)", c.a, c.op, c.b, res.Ret, c.want, c.comment)
+		}
+	}
+}
+
+func TestUnaryOperatorSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		in   int64
+		want int64
+	}{
+		{"-a", 5, -5},
+		{"-a", -5, 5},
+		{"!a", 0, 1},
+		{"!a", 7, 0},
+		{"!!a", 42, 1},
+		{"- -a", 9, 9},
+	}
+	for _, c := range cases {
+		mod := compile(t, fmt.Sprintf(`func main(a) { return %s; }`, c.expr))
+		res, err := Run(mod, []Input{ScalarInput(c.in)}, Options{})
+		if err != nil {
+			t.Errorf("%s with a=%d: %v", c.expr, c.in, err)
+			continue
+		}
+		if res.Ret != c.want {
+			t.Errorf("%s with a=%d = %d, want %d", c.expr, c.in, res.Ret, c.want)
+		}
+	}
+}
+
+// TestPrecedenceSemantics pins the documented operator precedence (all
+// bitwise operators bind tighter than comparisons, unlike C).
+func TestPrecedenceSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"1 << 2 + 1", 8},   // + binds tighter than <<: 1 << (2+1)
+		{"10 - 4 - 3", 3},   // left associative
+		{"100 / 10 / 5", 2}, // left associative
+		{"1 & 3 == 1", 1},   // & binds tighter than ==: (1&3) == 1
+		{"4 | 1 != 5", 0},   // | binds tighter than !=: (4|1) != 5
+		{"1 + 2 == 3 && 2 * 2 == 4", 1},
+		{"0 || 1 && 0", 0}, // && tighter than ||
+	}
+	for _, c := range cases {
+		mod := compile(t, fmt.Sprintf(`func main() { return %s; }`, c.expr))
+		res, err := Run(mod, nil, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if res.Ret != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.Ret, c.want)
+		}
+	}
+}
+
+// TestEvaluationOrder pins left-to-right evaluation of operands and
+// arguments (observable through out()).
+func TestEvaluationOrder(t *testing.T) {
+	mod := compile(t, `
+func side(x) { out(x); return x; }
+func main() { return side(1) + side(2) * side(3); }
+`)
+	res, err := Run(mod, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3}
+	if len(res.Output) != 3 {
+		t.Fatalf("output %v", res.Output)
+	}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("evaluation order: output %v, want %v", res.Output, want)
+			break
+		}
+	}
+	if res.Ret != 7 {
+		t.Errorf("Ret = %d, want 7", res.Ret)
+	}
+}

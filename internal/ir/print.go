@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as readable text, primarily for debugging and
+// golden tests.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for gi, g := range m.GlobalNames {
+		fmt.Fprintf(&sb, "global gs[%d] %s\n", gi, g)
+	}
+	for gi, g := range m.GlobalArrays {
+		fmt.Fprintf(&sb, "global g[%d] %s[%d]\n", gi, g.Name, g.Size)
+	}
+	for fi, f := range m.Funcs {
+		entry := ""
+		if fi == m.EntryFunc {
+			entry = " (entry)"
+		}
+		fmt.Fprintf(&sb, "func f%d %s%s\n", fi, f.Signature(), entry)
+		sb.WriteString(f.Body())
+	}
+	return sb.String()
+}
+
+// Signature renders the function name and parameter shape.
+func (f *Func) Signature() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		if p == ParamArray {
+			parts[i] = "array"
+		} else {
+			parts[i] = "int"
+		}
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ", "))
+}
+
+// Body renders the function's blocks as indented text.
+func (f *Func) Body() string {
+	var sb strings.Builder
+	for _, b := range f.Blocks {
+		name := b.Name
+		if name != "" {
+			name = " ; " + name
+		}
+		fmt.Fprintf(&sb, "  b%d:%s\n", b.ID, name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", in)
+		}
+		fmt.Fprintf(&sb, "    %s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// Dot renders the function's CFG in Graphviz dot format; edge labels can
+// optionally carry profile weights supplied per (block, successor index).
+func (f *Func) Dot(weight func(block, succIdx int) (int64, bool)) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box];\n", f.Name)
+	for _, b := range f.Blocks {
+		label := fmt.Sprintf("b%d", b.ID)
+		if b.Name != "" {
+			label += "\\n" + b.Name
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"];\n", b.ID, label)
+		for si, s := range b.Term.Succs {
+			attr := ""
+			if weight != nil {
+				if w, ok := weight(b.ID, si); ok {
+					attr = fmt.Sprintf(" [label=\"%d\"]", w)
+				}
+			}
+			fmt.Fprintf(&sb, "  b%d -> b%d%s;\n", b.ID, s, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

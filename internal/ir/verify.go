@@ -1,0 +1,194 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a module: block IDs match their
+// positions, successor references are in range, terminator shapes are
+// well-formed, register and array references are within the declared
+// frame, call targets and argument shapes match callee signatures, and
+// switch cases are unique. It returns the first violation found.
+func (m *Module) Verify() error {
+	if len(m.Funcs) == 0 {
+		return fmt.Errorf("ir: module has no functions")
+	}
+	if m.EntryFunc < 0 || m.EntryFunc >= len(m.Funcs) {
+		return fmt.Errorf("ir: entry function index %d out of range", m.EntryFunc)
+	}
+	for fi, f := range m.Funcs {
+		if err := m.verifyFunc(f); err != nil {
+			return fmt.Errorf("ir: func %d (%s): %w", fi, f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	nArrays := f.NumArrayParams() + len(f.LocalArraySizes)
+	checkVal := func(v Value) error {
+		if !v.IsConst && (v.Reg < 0 || int(v.Reg) >= f.NumRegs) {
+			return fmt.Errorf("register r%d out of range (%d regs)", v.Reg, f.NumRegs)
+		}
+		return nil
+	}
+	checkReg := func(r Reg) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("register r%d out of range (%d regs)", r, f.NumRegs)
+		}
+		return nil
+	}
+	checkArr := func(a ArrayRef) error {
+		if a.Global {
+			if a.Index < 0 || a.Index >= len(m.GlobalArrays) {
+				return fmt.Errorf("global array %d out of range", a.Index)
+			}
+			return nil
+		}
+		if a.Index < 0 || a.Index >= nArrays {
+			return fmt.Errorf("frame array %d out of range (%d arrays)", a.Index, nArrays)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if b == nil {
+			return fmt.Errorf("block %d is nil", bi)
+		}
+		if b.ID != bi {
+			return fmt.Errorf("block at position %d has ID %d", bi, b.ID)
+		}
+		for ii, in := range b.Instrs {
+			if err := m.verifyInstr(f, in, checkVal, checkReg, checkArr); err != nil {
+				return fmt.Errorf("block %d instr %d (%s): %w", bi, ii, in, err)
+			}
+		}
+		if err := verifyTerm(f, b.Term, checkVal); err != nil {
+			return fmt.Errorf("block %d terminator (%s): %w", bi, b.Term, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyInstr(f *Func, in Instr, checkVal func(Value) error, checkReg func(Reg) error, checkArr func(ArrayRef) error) error {
+	switch in.Kind {
+	case InstrConst:
+		if !in.A.IsConst {
+			return fmt.Errorf("const instruction with non-constant operand")
+		}
+		return firstErr(checkReg(in.Dst))
+	case InstrMove:
+		return firstErr(checkReg(in.Dst), checkVal(in.A))
+	case InstrBin:
+		if in.Op > OpGe {
+			return fmt.Errorf("operator %s is not binary", in.Op)
+		}
+		return firstErr(checkReg(in.Dst), checkVal(in.A), checkVal(in.B))
+	case InstrUn:
+		if in.Op != OpNeg && in.Op != OpNot {
+			return fmt.Errorf("operator %s is not unary", in.Op)
+		}
+		return firstErr(checkReg(in.Dst), checkVal(in.A))
+	case InstrLoad:
+		return firstErr(checkReg(in.Dst), checkVal(in.A), checkArr(in.Arr))
+	case InstrStore:
+		return firstErr(checkVal(in.A), checkVal(in.B), checkArr(in.Arr))
+	case InstrGLoad:
+		if in.GIndex < 0 || in.GIndex >= len(m.GlobalNames) {
+			return fmt.Errorf("global scalar %d out of range", in.GIndex)
+		}
+		return firstErr(checkReg(in.Dst))
+	case InstrGStore:
+		if in.GIndex < 0 || in.GIndex >= len(m.GlobalNames) {
+			return fmt.Errorf("global scalar %d out of range", in.GIndex)
+		}
+		return firstErr(checkVal(in.A))
+	case InstrCall:
+		if in.Callee < 0 || in.Callee >= len(m.Funcs) {
+			return fmt.Errorf("callee %d out of range", in.Callee)
+		}
+		callee := m.Funcs[in.Callee]
+		if len(in.Args) != len(callee.Params) {
+			return fmt.Errorf("call to %s with %d args, want %d", callee.Name, len(in.Args), len(callee.Params))
+		}
+		for ai, a := range in.Args {
+			wantArray := callee.Params[ai] == ParamArray
+			if a.IsArray != wantArray {
+				return fmt.Errorf("arg %d of call to %s: array mismatch", ai, callee.Name)
+			}
+			if a.IsArray {
+				if err := checkArr(a.Arr); err != nil {
+					return err
+				}
+			} else if err := checkVal(a.Val); err != nil {
+				return err
+			}
+		}
+		return firstErr(checkReg(in.Dst))
+	case InstrOut:
+		return firstErr(checkVal(in.A))
+	}
+	return fmt.Errorf("unknown instruction kind %d", in.Kind)
+}
+
+func verifyTerm(f *Func, t Terminator, checkVal func(Value) error) error {
+	inRange := func(id int) error {
+		if id < 0 || id >= len(f.Blocks) {
+			return fmt.Errorf("successor b%d out of range", id)
+		}
+		return nil
+	}
+	switch t.Kind {
+	case TermBr:
+		if len(t.Succs) != 1 {
+			return fmt.Errorf("br needs exactly 1 successor, has %d", len(t.Succs))
+		}
+		return inRange(t.Succs[0])
+	case TermCondBr:
+		if len(t.Succs) != 2 {
+			return fmt.Errorf("condbr needs exactly 2 successors, has %d", len(t.Succs))
+		}
+		if t.Succs[0] == t.Succs[1] {
+			return fmt.Errorf("condbr with identical successors should be a br")
+		}
+		return firstErr(checkVal(t.Cond), inRange(t.Succs[0]), inRange(t.Succs[1]))
+	case TermSwitch:
+		if len(t.Succs) != len(t.Cases)+1 {
+			return fmt.Errorf("switch with %d cases needs %d successors, has %d", len(t.Cases), len(t.Cases)+1, len(t.Succs))
+		}
+		if len(t.Cases) == 0 {
+			return fmt.Errorf("switch with no cases should be a br")
+		}
+		seen := make(map[int64]bool, len(t.Cases))
+		for _, c := range t.Cases {
+			if seen[c] {
+				return fmt.Errorf("duplicate switch case %d", c)
+			}
+			seen[c] = true
+		}
+		if err := checkVal(t.Cond); err != nil {
+			return err
+		}
+		for _, s := range t.Succs {
+			if err := inRange(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TermRet:
+		if len(t.Succs) != 0 {
+			return fmt.Errorf("ret must not have successors")
+		}
+		return checkVal(t.Val)
+	}
+	return fmt.Errorf("unknown terminator kind %d", t.Kind)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

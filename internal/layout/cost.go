@@ -1,0 +1,239 @@
+package layout
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/machine"
+)
+
+// condDisplacedCost returns the aggregate penalty of a conditional branch
+// whose successors are both displaced, together with the cheaper fixup
+// arrangement. nP and nO are the execution counts of the predicted and
+// non-predicted successors.
+//
+// Arrangement "keep taken" (true): the branch's taken target remains the
+// predicted successor (correctly predicted taken branches pay the
+// misfetch); the other successor is reached through the fall-through
+// fixup jump after a mispredict.
+//
+// Arrangement "invert" (false): the branch is inverted so the predicted
+// successor is reached by falling through into the fixup jump (paying the
+// jump); the other successor is a mispredicted taken branch.
+func condDisplacedCost(nP, nO int64, m machine.Model) (Cost, bool) {
+	keep := nP*m.CondTakenCorrect + nO*(m.CondMispredict+m.JumpCost)
+	invert := nP*m.JumpCost + nO*m.CondMispredict
+	if keep <= invert {
+		return keep, true
+	}
+	return invert, false
+}
+
+// SuccessorCost is the paper's d(B, X): the total penalty cycles accrued
+// at the end of block b when block x is its layout successor (x == -1
+// means b is last), under predictions pred and the counts in fp. For
+// fully displaced conditional branches the cheaper fixup arrangement is
+// assumed, matching what Finalize will choose — this is the quantity the
+// DTSP edge costs encode.
+func SuccessorCost(f *ir.Func, fp *interp.FuncProfile, pred []int, b, x int, m machine.Model) Cost {
+	blk := f.Blocks[b]
+	counts := fp.EdgeCounts[b]
+	switch blk.Term.Kind {
+	case ir.TermRet:
+		return 0
+	case ir.TermBr:
+		if blk.Term.Succs[0] == x {
+			return 0
+		}
+		return counts[0] * m.JumpCost
+	case ir.TermCondBr:
+		p := pred[b]
+		nP, nO := counts[p], counts[1-p]
+		switch x {
+		case blk.Term.Succs[p]:
+			// Predicted successor falls through; the other is a
+			// mispredicted taken branch.
+			return nP*m.CondFallthroughCorrect + nO*m.CondMispredict
+		case blk.Term.Succs[1-p]:
+			// Predicted successor is a correctly predicted taken branch;
+			// the other falls through against the prediction.
+			return nP*m.CondTakenCorrect + nO*m.CondMispredict
+		default:
+			c, _ := condDisplacedCost(nP, nO, m)
+			return c
+		}
+	case ir.TermSwitch:
+		p := pred[b]
+		var total Cost
+		for si, n := range counts {
+			if si == p {
+				if blk.Term.Succs[p] == x {
+					total += n * m.MultiCorrectFallthrough
+				} else {
+					total += n * m.MultiCorrectTaken
+				}
+				continue
+			}
+			total += n * m.MultiMispredict
+		}
+		return total
+	}
+	return 0
+}
+
+// Event is the consequence of one dynamic execution of a block's
+// terminator under a layout.
+type Event struct {
+	// Penalty is the control-penalty cycles of this execution.
+	Penalty Cost
+	// ViaFixup reports that execution flows through an inserted fixup
+	// jump (a separate one-instruction block the cache simulator must
+	// fetch).
+	ViaFixup bool
+	// InsertedJump reports that the block's own unconditional terminator
+	// had to be materialized as a jump instruction (affects block size,
+	// accounted by PlaceFunc, and means the transfer was a taken branch).
+	InsertedJump bool
+}
+
+// Exec evaluates a single execution of block b leaving through successor
+// index si (-1 for return) under this layout. layoutSucc must be
+// fl.LayoutSuccessors(f)[b].
+func (fl *FuncLayout) Exec(f *ir.Func, b, si, layoutSucc int, m machine.Model) Event {
+	blk := f.Blocks[b]
+	switch blk.Term.Kind {
+	case ir.TermRet:
+		return Event{Penalty: m.RetCost}
+	case ir.TermBr:
+		if blk.Term.Succs[0] == layoutSucc {
+			return Event{}
+		}
+		return Event{Penalty: m.JumpCost, InsertedJump: true}
+	case ir.TermCondBr:
+		p := fl.Pred[b]
+		predictedTaken := si == p
+		switch layoutSucc {
+		case blk.Term.Succs[p]:
+			if predictedTaken {
+				return Event{Penalty: m.CondFallthroughCorrect}
+			}
+			return Event{Penalty: m.CondMispredict}
+		case blk.Term.Succs[1-p]:
+			if predictedTaken {
+				return Event{Penalty: m.CondTakenCorrect}
+			}
+			return Event{Penalty: m.CondMispredict}
+		default:
+			if fl.FixupTaken[b] {
+				// Taken target: predicted successor. Other successor goes
+				// through the fall-through fixup jump.
+				if predictedTaken {
+					return Event{Penalty: m.CondTakenCorrect}
+				}
+				return Event{Penalty: m.CondMispredict + m.JumpCost, ViaFixup: true}
+			}
+			// Inverted: predicted successor falls through to the fixup.
+			if predictedTaken {
+				return Event{Penalty: m.JumpCost, ViaFixup: true}
+			}
+			return Event{Penalty: m.CondMispredict}
+		}
+	case ir.TermSwitch:
+		p := fl.Pred[b]
+		if si == p {
+			if blk.Term.Succs[p] == layoutSucc {
+				return Event{Penalty: m.MultiCorrectFallthrough}
+			}
+			return Event{Penalty: m.MultiCorrectTaken}
+		}
+		return Event{Penalty: m.MultiMispredict}
+	}
+	return Event{}
+}
+
+// TakenPath reports how one dynamic execution of block b's terminator
+// reaches successor index si under this layout: whether the transfer
+// takes the branch (as opposed to falling through) and whether it flows
+// through an inserted fixup jump. For unconditional terminators, taken
+// means a materialized jump. Multiway branches always redirect through
+// the register target (taken == true) regardless of layout; returns are
+// (false, false).
+//
+// Together with PredictedTaken this factors Exec into "what the machine
+// does" and "what the predictor thought", which is what the dynamic
+// branch-prediction simulation in package pipe needs (the trace-driven
+// predictor study of the paper's footnote 6).
+func (fl *FuncLayout) TakenPath(f *ir.Func, b, si, layoutSucc int) (taken, viaFixup bool) {
+	blk := f.Blocks[b]
+	switch blk.Term.Kind {
+	case ir.TermRet:
+		return false, false
+	case ir.TermBr:
+		return blk.Term.Succs[0] != layoutSucc, false
+	case ir.TermCondBr:
+		p := fl.Pred[b]
+		switch layoutSucc {
+		case blk.Term.Succs[p]:
+			// Fall-through is the predicted successor.
+			return si != p, false
+		case blk.Term.Succs[1-p]:
+			// Fall-through is the other successor.
+			return si == p, false
+		default:
+			if fl.FixupTaken[b] {
+				// Taken target: predicted successor; fixup on fall-through.
+				if si == p {
+					return true, false
+				}
+				return false, true
+			}
+			// Inverted: predicted successor through the fixup.
+			if si == p {
+				return false, true
+			}
+			return true, false
+		}
+	case ir.TermSwitch:
+		return true, false
+	}
+	return false, false
+}
+
+// PredictedTaken reports the static prediction direction of conditional
+// block b under this layout: true when the predicted successor is the
+// branch's taken target.
+func (fl *FuncLayout) PredictedTaken(f *ir.Func, b, layoutSucc int) bool {
+	taken, _ := fl.TakenPath(f, b, fl.Pred[b], layoutSucc)
+	return taken
+}
+
+// Penalty evaluates the total intraprocedural control penalty of layout
+// fl for function f against the edge counts in fp (which may come from a
+// different input than the one the layout was trained on). Returns and
+// calls are excluded: they are layout-independent.
+func Penalty(f *ir.Func, fl *FuncLayout, fp *interp.FuncProfile, m machine.Model) Cost {
+	succ := fl.LayoutSuccessors(f)
+	var total Cost
+	for b, blk := range f.Blocks {
+		if blk.Term.Kind == ir.TermRet {
+			continue
+		}
+		for si := range blk.Term.Succs {
+			n := fp.EdgeCounts[b][si]
+			if n == 0 {
+				continue
+			}
+			ev := fl.Exec(f, b, si, succ[b], m)
+			total += n * ev.Penalty
+		}
+	}
+	return total
+}
+
+// ModulePenalty sums Penalty over all functions.
+func ModulePenalty(mod *ir.Module, l *Layout, prof *interp.Profile, m machine.Model) Cost {
+	var total Cost
+	for fi, f := range mod.Funcs {
+		total += Penalty(f, l.Funcs[fi], prof.Funcs[fi], m)
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"branchalign/internal/ir"
+)
+
+// WriteJSON serializes the layout (block orders plus the layout-time
+// prediction and fixup decisions), the artifact a backend would consume
+// to emit the final binary.
+func (l *Layout) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(l)
+}
+
+// ReadLayoutJSON deserializes a layout and validates it against mod.
+func ReadLayoutJSON(r io.Reader, mod *ir.Module) (*Layout, error) {
+	var l Layout
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("layout: decoding layout: %w", err)
+	}
+	if err := l.Validate(mod); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

@@ -1,0 +1,170 @@
+// Package layout represents intraprocedural code layouts — permutations
+// of each function's basic blocks — and implements the paper's cost
+// semantics for them: static branch predictions, fixup-jump insertion
+// (with conditional-branch inversion), exact control-penalty evaluation
+// of a layout against a profile, and instruction-address assignment for
+// the pipeline/cache simulator.
+package layout
+
+import (
+	"fmt"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/machine"
+)
+
+// Cost is a penalty in cycles (alias of machine.Cost and tsp.Cost).
+type Cost = machine.Cost
+
+// FuncLayout is a layout of one function plus the layout-time decisions
+// that fix its semantics: the static prediction of every branch and the
+// fixup arrangement of fully displaced conditional branches. Predictions
+// and arrangements are decided from the *training* profile and then kept
+// fixed, which is what makes cross-validation (testing with a different
+// profile) meaningful.
+type FuncLayout struct {
+	// Order is the permutation of block IDs; Order[0] must be the entry
+	// block (the function must begin at its entry point).
+	Order []int
+	// Pred[b] is the statically predicted successor index of block b
+	// (indexing Term.Succs), or -1 for blocks without successors.
+	Pred []int
+	// FixupTaken[b] applies to conditional blocks whose successors are
+	// both displaced: true keeps the predicted successor as the branch's
+	// taken target (fall-through reaches the other successor via a fixup
+	// jump); false inverts the branch so the predicted successor is
+	// reached via fall-through plus fixup jump.
+	FixupTaken []bool
+}
+
+// Layout is a whole-module layout, indexed like Module.Funcs.
+type Layout struct {
+	Funcs []*FuncLayout
+}
+
+// Validate checks that fl is a well-formed layout of f.
+func (fl *FuncLayout) Validate(f *ir.Func) error {
+	n := len(f.Blocks)
+	if len(fl.Order) != n {
+		return fmt.Errorf("layout: order has %d entries for %d blocks", len(fl.Order), n)
+	}
+	seen := make([]bool, n)
+	for _, b := range fl.Order {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("layout: order is not a permutation (block %d)", b)
+		}
+		seen[b] = true
+	}
+	if fl.Order[0] != 0 {
+		return fmt.Errorf("layout: entry block must be first, got b%d", fl.Order[0])
+	}
+	if len(fl.Pred) != n || len(fl.FixupTaken) != n {
+		return fmt.Errorf("layout: prediction tables have wrong length")
+	}
+	for b, blk := range f.Blocks {
+		switch blk.Term.Kind {
+		case ir.TermRet:
+			if fl.Pred[b] != -1 {
+				return fmt.Errorf("layout: block b%d returns but has prediction %d", b, fl.Pred[b])
+			}
+		default:
+			if fl.Pred[b] < 0 || fl.Pred[b] >= len(blk.Term.Succs) {
+				return fmt.Errorf("layout: block b%d prediction %d out of range", b, fl.Pred[b])
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks a module layout.
+func (l *Layout) Validate(mod *ir.Module) error {
+	if len(l.Funcs) != len(mod.Funcs) {
+		return fmt.Errorf("layout: %d function layouts for %d functions", len(l.Funcs), len(mod.Funcs))
+	}
+	for fi, fl := range l.Funcs {
+		if err := fl.Validate(mod.Funcs[fi]); err != nil {
+			return fmt.Errorf("func %s: %w", mod.Funcs[fi].Name, err)
+		}
+	}
+	return nil
+}
+
+// Predictions derives the static branch predictions for f from a profile:
+// each branch predicts its most frequently executed successor (ties and
+// never-executed branches default to successor 0). This mirrors the
+// paper's assumption that "the processor always predicts the most common
+// CFG successor of a basic block".
+func Predictions(f *ir.Func, fp *interp.FuncProfile) []int {
+	pred := make([]int, len(f.Blocks))
+	for b, blk := range f.Blocks {
+		if blk.Term.Kind == ir.TermRet {
+			pred[b] = -1
+			continue
+		}
+		best, bestCount := 0, int64(-1)
+		for si := range blk.Term.Succs {
+			if c := fp.EdgeCounts[b][si]; c > bestCount {
+				best, bestCount = si, c
+			}
+		}
+		pred[b] = best
+	}
+	return pred
+}
+
+// Finalize builds the FuncLayout for a given block order: predictions
+// come from the training profile, and for every fully displaced
+// conditional branch the cheaper fixup arrangement (under the training
+// counts) is chosen. The result satisfies Validate and realizes exactly
+// the DTSP walk cost of the order.
+func Finalize(f *ir.Func, fp *interp.FuncProfile, order []int, m machine.Model) *FuncLayout {
+	fl := &FuncLayout{
+		Order:      append([]int(nil), order...),
+		Pred:       Predictions(f, fp),
+		FixupTaken: make([]bool, len(f.Blocks)),
+	}
+	succ := fl.LayoutSuccessors(f)
+	for b, blk := range f.Blocks {
+		if blk.Term.Kind != ir.TermCondBr {
+			continue
+		}
+		x := succ[b]
+		if x == blk.Term.Succs[0] || x == blk.Term.Succs[1] {
+			continue // not displaced; arrangement irrelevant
+		}
+		p := fl.Pred[b]
+		nP := fp.EdgeCounts[b][p]
+		nO := fp.EdgeCounts[b][1-p]
+		_, keepTaken := condDisplacedCost(nP, nO, m)
+		fl.FixupTaken[b] = keepTaken
+	}
+	return fl
+}
+
+// LayoutSuccessors returns, for each block ID, the block that succeeds it
+// in the layout (-1 for the last block).
+func (fl *FuncLayout) LayoutSuccessors(f *ir.Func) []int {
+	succ := make([]int, len(f.Blocks))
+	for i := range succ {
+		succ[i] = -1
+	}
+	for k := 0; k+1 < len(fl.Order); k++ {
+		succ[fl.Order[k]] = fl.Order[k+1]
+	}
+	return succ
+}
+
+// Identity returns the original (compiler) layout of mod with predictions
+// finalized from prof.
+func Identity(mod *ir.Module, prof *interp.Profile, m machine.Model) *Layout {
+	l := &Layout{}
+	for fi, f := range mod.Funcs {
+		order := make([]int, len(f.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+		l.Funcs = append(l.Funcs, Finalize(f, prof.Funcs[fi], order, m))
+	}
+	return l
+}

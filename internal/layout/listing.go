@@ -1,0 +1,95 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"branchalign/internal/ir"
+)
+
+// Listing renders the laid-out function as pseudo-assembly: blocks appear
+// in layout order at their assigned addresses, fall-through branches are
+// elided, displaced unconditional branches are materialized as jumps,
+// conditional branches are shown with the direction the layout actually
+// emits (inverted when the original fall-through was displaced), and
+// fixup jumps appear as the separate one-instruction blocks they are.
+// This is exactly the transformation the paper describes: "implemented
+// with the appropriate inversions of conditional branches and insertions
+// or deletions of unconditional jumps to ensure that program semantics
+// are maintained."
+func Listing(f *ir.Func, fl *FuncLayout, pf *PlacedFunc) string {
+	var sb strings.Builder
+	succ := fl.LayoutSuccessors(f)
+	fmt.Fprintf(&sb, "%s:\n", f.Name)
+	for _, b := range fl.Order {
+		blk := f.Blocks[b]
+		addr := pf.Addr[b]
+		name := blk.Name
+		if name != "" {
+			name = " ; " + name
+		}
+		fmt.Fprintf(&sb, "%6d: .b%d%s\n", addr, b, name)
+		for i, in := range blk.Instrs {
+			fmt.Fprintf(&sb, "%6d:   %s\n", addr+int64(i), in)
+		}
+		termAddr := addr + int64(len(blk.Instrs))
+		switch blk.Term.Kind {
+		case ir.TermRet:
+			fmt.Fprintf(&sb, "%6d:   ret %s\n", termAddr, blk.Term.Val)
+		case ir.TermBr:
+			t := blk.Term.Succs[0]
+			if t == succ[b] {
+				fmt.Fprintf(&sb, "        ; falls through to .b%d\n", t)
+			} else {
+				fmt.Fprintf(&sb, "%6d:   jmp .b%d (@%d)\n", termAddr, t, pf.Addr[t])
+			}
+		case ir.TermCondBr:
+			p := fl.Pred[b]
+			taken, fallthrough_ := condTargets(blk, fl, succ[b])
+			hint := "predict-taken"
+			if !fl.PredictedTaken(f, b, succ[b]) {
+				hint = "predict-not-taken"
+			}
+			cond := blk.Term.Cond.String()
+			if taken != blk.Term.Succs[0] {
+				cond = "!" + cond // the emitted branch tests the inverted condition
+			}
+			fmt.Fprintf(&sb, "%6d:   br.if %s -> .b%d (@%d) [%s]\n",
+				termAddr, cond, taken, pf.Addr[taken], hint)
+			if pf.FixupAddr[b] >= 0 {
+				fmt.Fprintf(&sb, "%6d:   jmp .b%d (@%d) ; fixup block\n",
+					pf.FixupAddr[b], fallthrough_, pf.Addr[fallthrough_])
+			} else {
+				fmt.Fprintf(&sb, "        ; falls through to .b%d\n", fallthrough_)
+			}
+			_ = p
+		case ir.TermSwitch:
+			fmt.Fprintf(&sb, "%6d:   jmp.table %s [", termAddr, blk.Term.Cond)
+			for ci := range blk.Term.Cases {
+				fmt.Fprintf(&sb, "%d=>.b%d ", blk.Term.Cases[ci], blk.Term.Succs[ci])
+			}
+			fmt.Fprintf(&sb, "default=>.b%d]\n", blk.Term.Succs[len(blk.Term.Succs)-1])
+		}
+	}
+	return sb.String()
+}
+
+// condTargets determines which successor the emitted conditional branch
+// jumps to (taken) and which is reached sequentially (fall-through,
+// possibly via the fixup block), under the layout.
+func condTargets(blk *ir.Block, fl *FuncLayout, layoutSucc int) (taken, fallThrough int) {
+	s0, s1 := blk.Term.Succs[0], blk.Term.Succs[1]
+	switch layoutSucc {
+	case s0:
+		return s1, s0
+	case s1:
+		return s0, s1
+	default:
+		p := fl.Pred[blk.ID]
+		if fl.FixupTaken[blk.ID] {
+			// Taken target is the predicted successor.
+			return blk.Term.Succs[p], blk.Term.Succs[1-p]
+		}
+		return blk.Term.Succs[1-p], blk.Term.Succs[p]
+	}
+}

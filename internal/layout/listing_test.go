@@ -1,0 +1,102 @@
+package layout_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/testutil"
+)
+
+func TestListingIdentityLayout(t *testing.T) {
+	mod, prof, _, err := testutil.CompileAndProfile(`
+func main(n) {
+	var i;
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) { s = s + 2; } else { s = s - 1; }
+	}
+	return s;
+}
+`, []interp.Input{interp.ScalarInput(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Alpha21164()
+	l := layout.Identity(mod, prof, m)
+	f := mod.Funcs[mod.EntryFunc]
+	pf := layout.PlaceFunc(f, l.Funcs[mod.EntryFunc], 0)
+	text := layout.Listing(f, l.Funcs[mod.EntryFunc], pf)
+	for _, want := range []string{"main:", ".b0", "br.if", "falls through", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestListingShowsInversionAndFixups: under a layout that displaces a
+// conditional's fall-through, the listing must show either an inverted
+// condition or a fixup jump.
+func TestListingShowsInversionAndFixups(t *testing.T) {
+	mod, prof, _, err := testutil.CompileAndProfile(testutil.BranchySource, testutil.BranchyInput(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Alpha21164()
+	rng := rand.New(rand.NewSource(8))
+	sawInversion, sawFixup, sawJump := false, false, false
+	for fi, f := range mod.Funcs {
+		if len(f.Blocks) < 4 {
+			continue
+		}
+		order := make([]int, len(f.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+		rest := order[1:]
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		fl := layout.Finalize(f, prof.Funcs[fi], order, m)
+		pf := layout.PlaceFunc(f, fl, 0)
+		text := layout.Listing(f, fl, pf)
+		if strings.Contains(text, "br.if !") {
+			sawInversion = true
+		}
+		if strings.Contains(text, "fixup block") {
+			sawFixup = true
+		}
+		if strings.Contains(text, "jmp .b") {
+			sawJump = true
+		}
+		// Every block must appear exactly once at its placed address.
+		for b := range f.Blocks {
+			label := ".b" + itoa(b)
+			if !strings.Contains(text, label) {
+				t.Fatalf("func %s: listing missing block %s\n%s", f.Name, label, text)
+			}
+		}
+	}
+	if !sawInversion {
+		t.Error("no inverted conditional in any scrambled listing")
+	}
+	if !sawFixup {
+		t.Error("no fixup block in any scrambled listing")
+	}
+	if !sawJump {
+		t.Error("no materialized jump in any scrambled listing")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

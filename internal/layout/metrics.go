@@ -1,0 +1,76 @@
+package layout
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+)
+
+// Metrics summarizes how a layout treats a function's dynamic control
+// transfers: the fall-through rate is the quantity alignment maximizes
+// indirectly (every fall-through is a transfer that costs nothing and
+// fetches no new line).
+type Metrics struct {
+	// Transfers counts dynamic executions of non-return terminators.
+	Transfers int64
+	// Fallthroughs counts transfers that continue sequentially (no taken
+	// branch, no fixup).
+	Fallthroughs int64
+	// Taken counts transfers that redirect fetch.
+	Taken int64
+	// ViaFixup counts transfers routed through inserted fixup jumps.
+	ViaFixup int64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Transfers += other.Transfers
+	m.Fallthroughs += other.Fallthroughs
+	m.Taken += other.Taken
+	m.ViaFixup += other.ViaFixup
+}
+
+// FallthroughRate returns the fraction of transfers that fall through.
+func (m Metrics) FallthroughRate() float64 {
+	if m.Transfers == 0 {
+		return 0
+	}
+	return float64(m.Fallthroughs) / float64(m.Transfers)
+}
+
+// ComputeMetrics evaluates fl against the edge counts in fp.
+func ComputeMetrics(f *ir.Func, fl *FuncLayout, fp *interp.FuncProfile) Metrics {
+	succ := fl.LayoutSuccessors(f)
+	var m Metrics
+	for b, blk := range f.Blocks {
+		if blk.Term.Kind == ir.TermRet {
+			continue
+		}
+		for si := range blk.Term.Succs {
+			n := fp.EdgeCounts[b][si]
+			if n == 0 {
+				continue
+			}
+			taken, viaFixup := fl.TakenPath(f, b, si, succ[b])
+			m.Transfers += n
+			switch {
+			case viaFixup:
+				m.ViaFixup += n
+				m.Taken += n // the fixup jump redirects
+			case taken:
+				m.Taken += n
+			default:
+				m.Fallthroughs += n
+			}
+		}
+	}
+	return m
+}
+
+// ModuleMetrics sums ComputeMetrics over all functions.
+func ModuleMetrics(mod *ir.Module, l *Layout, prof *interp.Profile) Metrics {
+	var m Metrics
+	for fi, f := range mod.Funcs {
+		m.Add(ComputeMetrics(f, l.Funcs[fi], prof.Funcs[fi]))
+	}
+	return m
+}

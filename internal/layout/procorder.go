@@ -1,0 +1,180 @@
+package layout
+
+import (
+	"sort"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+)
+
+// OrderFunctions computes a Pettis-Hansen-style procedure ordering from
+// the profiled call graph: procedures that call each other frequently
+// are placed near each other in memory, reducing instruction-cache
+// conflicts between hot caller/callee pairs. This is the interprocedural
+// generalization the paper lists as future work ("we would like to try
+// to generalize our method to the interprocedural code placement
+// problem"); the algorithm here is the chain-merging procedure ordering
+// of Pettis & Hansen (PLDI 1990), which their paper pairs with the basic
+// block ordering this repository's aligners implement.
+//
+// The returned slice is a permutation of function indices; the chain
+// containing the module's entry function is placed first.
+func OrderFunctions(mod *ir.Module, prof *interp.Profile) []int {
+	n := len(mod.Funcs)
+	if n == 1 {
+		return []int{0}
+	}
+	// Undirected call-graph weights.
+	type cgEdge struct {
+		a, b   int
+		weight int64
+	}
+	var edges []cgEdge
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			w := int64(0)
+			if prof != nil && prof.CallCounts != nil {
+				w = prof.CallCounts[a][b] + prof.CallCounts[b][a]
+			}
+			if w > 0 {
+				edges = append(edges, cgEdge{a, b, w})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Each function starts as its own chain; merging the chains of (a, b)
+	// picks the concatenation (of the four orientations) that minimizes
+	// the distance between a and b — the "closest is best" rule.
+	chainOf := make([]int, n)
+	chains := make([][]int, n)
+	for i := 0; i < n; i++ {
+		chainOf[i] = i
+		chains[i] = []int{i}
+	}
+	reverse := func(s []int) {
+		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+	}
+	pos := func(chain []int, x int) int {
+		for i, v := range chain {
+			if v == x {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, e := range edges {
+		ca, cb := chainOf[e.a], chainOf[e.b]
+		if ca == cb {
+			continue
+		}
+		A := chains[ca]
+		B := chains[cb]
+		// Try the four orientations; distance between a and b in the
+		// concatenation A' + B' is (len(A')-1-pos(a)) + pos(b) + 1.
+		best := -1
+		bestDist := 1 << 30
+		for o := 0; o < 4; o++ {
+			ra, rb := o&1 == 1, o&2 == 2
+			pa := pos(A, e.a)
+			if ra {
+				pa = len(A) - 1 - pa
+			}
+			pb := pos(B, e.b)
+			if rb {
+				pb = len(B) - 1 - pb
+			}
+			dist := (len(A) - 1 - pa) + pb + 1
+			if dist < bestDist {
+				bestDist = dist
+				best = o
+			}
+		}
+		merged := make([]int, 0, len(A)+len(B))
+		ac := append([]int(nil), A...)
+		bc := append([]int(nil), B...)
+		if best&1 == 1 {
+			reverse(ac)
+		}
+		if best&2 == 2 {
+			reverse(bc)
+		}
+		merged = append(merged, ac...)
+		merged = append(merged, bc...)
+		chains[ca] = merged
+		chains[cb] = nil
+		for _, x := range merged {
+			chainOf[x] = ca
+		}
+	}
+
+	// Emit: the entry function's chain first, remaining chains by their
+	// hottest member's total call traffic, then index order.
+	heat := make([]int64, n)
+	if prof != nil && prof.CallCounts != nil {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				heat[a] += prof.CallCounts[a][b] + prof.CallCounts[b][a]
+			}
+		}
+	}
+	type rankedChain struct {
+		blocks []int
+		heat   int64
+		minIdx int
+	}
+	var ranked []rankedChain
+	entryChain := chainOf[mod.EntryFunc]
+	for ci, c := range chains {
+		if len(c) == 0 || ci == entryChain {
+			continue
+		}
+		rc := rankedChain{blocks: c, minIdx: c[0]}
+		for _, x := range c {
+			rc.heat += heat[x]
+			if x < rc.minIdx {
+				rc.minIdx = x
+			}
+		}
+		ranked = append(ranked, rc)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].heat != ranked[j].heat {
+			return ranked[i].heat > ranked[j].heat
+		}
+		return ranked[i].minIdx < ranked[j].minIdx
+	})
+	out := make([]int, 0, n)
+	out = append(out, chains[entryChain]...)
+	for _, rc := range ranked {
+		out = append(out, rc.blocks...)
+	}
+	return out
+}
+
+// PlaceModuleOrdered lays out the module's functions in the given order
+// (a permutation of function indices) instead of module order, packing
+// them contiguously from address 0.
+func PlaceModuleOrdered(mod *ir.Module, l *Layout, funcOrder []int) *PlacedModule {
+	pm := &PlacedModule{Mod: mod, Funcs: make([]*PlacedFunc, len(mod.Funcs))}
+	cur := int64(0)
+	for _, fi := range funcOrder {
+		if rem := cur % FuncAlignment; rem != 0 {
+			cur += FuncAlignment - rem
+		}
+		pf := PlaceFunc(mod.Funcs[fi], l.Funcs[fi], cur)
+		pm.Funcs[fi] = pf
+		cur = pf.End
+	}
+	return pm
+}

@@ -1,0 +1,399 @@
+// Package lower translates checked Mini-C programs (package minic) into
+// the basic-block IR of package ir. Lowering produces the control-flow
+// shapes branch alignment cares about: two-way conditional branches from
+// if/while/for and short-circuit booleans, multiway switch terminators
+// (the "register branch" class), and fall-through chains of unconditional
+// branches.
+package lower
+
+import (
+	"fmt"
+
+	"branchalign/internal/ir"
+	"branchalign/internal/minic"
+)
+
+// Program lowers a checked program to an IR module. The entry function is
+// "main" when present, otherwise the first function.
+func Program(info *minic.Info) (*ir.Module, error) {
+	mod := &ir.Module{
+		GlobalNames: append([]string(nil), info.GlobalScalars...),
+	}
+	for _, g := range info.GlobalArrays {
+		mod.GlobalArrays = append(mod.GlobalArrays, ir.GlobalArray{Name: g.Name, Size: int(g.Size)})
+	}
+	for _, fi := range info.Funcs {
+		f, err := lowerFunc(info, fi)
+		if err != nil {
+			return nil, err
+		}
+		mod.Funcs = append(mod.Funcs, f)
+	}
+	if idx, ok := info.FuncIndex["main"]; ok {
+		mod.EntryFunc = idx
+	}
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("lower: produced invalid IR: %w", err)
+	}
+	return mod, nil
+}
+
+// funcLowerer holds per-function lowering state.
+type funcLowerer struct {
+	info *minic.Info
+	fi   *minic.FuncInfo
+	b    *ir.FuncBuilder
+	// breakTargets and continueTargets are stacks of jump destinations for
+	// the innermost breakable (loop or switch) and continuable (loop)
+	// constructs.
+	breakTargets    []int
+	continueTargets []int
+}
+
+func lowerFunc(info *minic.Info, fi *minic.FuncInfo) (*ir.Func, error) {
+	params := make([]ir.ParamKind, len(fi.Decl.Params))
+	for i, p := range fi.Decl.Params {
+		if p.IsArray {
+			params[i] = ir.ParamArray
+		} else {
+			params[i] = ir.ParamScalar
+		}
+	}
+	b := ir.NewFuncBuilder(fi.Decl.Name, params)
+	b.ReserveRegs(fi.NumScalars)
+	sizes := make([]int, len(fi.LocalArraySizes))
+	for i, s := range fi.LocalArraySizes {
+		sizes[i] = int(s)
+	}
+	b.SetLocalArraySizes(sizes)
+
+	fl := &funcLowerer{info: info, fi: fi, b: b}
+	fl.stmts(fi.Decl.Body.Stmts)
+	// Implicit return 0 for any block that ran off the end, and a
+	// terminator for dead blocks created after returns/breaks.
+	if !b.Terminated() {
+		b.Ret(ir.ConstVal(0))
+	}
+	return b.Func(), nil
+}
+
+// startDeadBlock begins a fresh block for statements that follow a
+// terminator (unreachable code keeps its CFG shape; the verifier and the
+// aligners tolerate unreachable blocks).
+func (fl *funcLowerer) startDeadBlock() {
+	id := fl.b.NewBlock("dead")
+	fl.b.SetInsert(id)
+}
+
+func (fl *funcLowerer) stmts(list []minic.Stmt) {
+	for _, s := range list {
+		if fl.b.Terminated() {
+			fl.startDeadBlock()
+		}
+		fl.stmt(s)
+	}
+}
+
+func (fl *funcLowerer) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		fl.stmts(st.Stmts)
+	case *minic.VarDecl:
+		if st.IsArray {
+			return // storage pre-allocated from checker results
+		}
+		sym := fl.fi.Decls[st]
+		if st.Init != nil {
+			v := fl.expr(st.Init)
+			fl.b.EmitMove(ir.Reg(sym.Index), v)
+		} else {
+			fl.b.EmitConst(ir.Reg(sym.Index), 0)
+		}
+	case *minic.AssignStmt:
+		fl.assign(st)
+	case *minic.IfStmt:
+		fl.ifStmt(st)
+	case *minic.WhileStmt:
+		fl.whileStmt(st)
+	case *minic.ForStmt:
+		fl.forStmt(st)
+	case *minic.SwitchStmt:
+		fl.switchStmt(st)
+	case *minic.BreakStmt:
+		fl.b.Br(fl.breakTargets[len(fl.breakTargets)-1])
+	case *minic.ContinueStmt:
+		fl.b.Br(fl.continueTargets[len(fl.continueTargets)-1])
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			v := fl.expr(st.Value)
+			fl.b.Ret(v)
+		} else {
+			fl.b.Ret(ir.ConstVal(0))
+		}
+	case *minic.ExprStmt:
+		fl.expr(st.X)
+	default:
+		panic(fmt.Sprintf("lower: unknown statement %T", s))
+	}
+}
+
+func (fl *funcLowerer) assign(st *minic.AssignStmt) {
+	sym := fl.fi.Assign[st]
+	if st.Index != nil {
+		idx := fl.expr(st.Index)
+		val := fl.expr(st.Value)
+		fl.b.EmitStore(arrayRef(sym), idx, val)
+		return
+	}
+	val := fl.expr(st.Value)
+	switch sym.Kind {
+	case minic.SymScalar:
+		fl.b.EmitMove(ir.Reg(sym.Index), val)
+	case minic.SymGlobalScalar:
+		fl.b.EmitGStore(sym.Index, val)
+	default:
+		panic("lower: scalar assignment to non-scalar symbol")
+	}
+}
+
+func arrayRef(sym minic.Symbol) ir.ArrayRef {
+	switch sym.Kind {
+	case minic.SymArray:
+		return ir.ArrayRef{Index: sym.Index}
+	case minic.SymGlobalArray:
+		return ir.ArrayRef{Global: true, Index: sym.Index}
+	}
+	panic("lower: symbol is not an array")
+}
+
+func (fl *funcLowerer) ifStmt(st *minic.IfStmt) {
+	thenB := fl.b.NewBlock("if.then")
+	joinB := fl.b.NewBlock("if.join")
+	elseB := joinB
+	if st.Else != nil {
+		elseB = fl.b.NewBlock("if.else")
+	}
+	fl.cond(st.Cond, thenB, elseB)
+	fl.b.SetInsert(thenB)
+	fl.stmts(st.Then.Stmts)
+	if !fl.b.Terminated() {
+		fl.b.Br(joinB)
+	}
+	if st.Else != nil {
+		fl.b.SetInsert(elseB)
+		fl.stmt(st.Else)
+		if !fl.b.Terminated() {
+			fl.b.Br(joinB)
+		}
+	}
+	fl.b.SetInsert(joinB)
+}
+
+func (fl *funcLowerer) whileStmt(st *minic.WhileStmt) {
+	headB := fl.b.NewBlock("while.head")
+	bodyB := fl.b.NewBlock("while.body")
+	exitB := fl.b.NewBlock("while.exit")
+	fl.b.Br(headB)
+	fl.b.SetInsert(headB)
+	fl.cond(st.Cond, bodyB, exitB)
+	fl.breakTargets = append(fl.breakTargets, exitB)
+	fl.continueTargets = append(fl.continueTargets, headB)
+	fl.b.SetInsert(bodyB)
+	fl.stmts(st.Body.Stmts)
+	if !fl.b.Terminated() {
+		fl.b.Br(headB)
+	}
+	fl.breakTargets = fl.breakTargets[:len(fl.breakTargets)-1]
+	fl.continueTargets = fl.continueTargets[:len(fl.continueTargets)-1]
+	fl.b.SetInsert(exitB)
+}
+
+func (fl *funcLowerer) forStmt(st *minic.ForStmt) {
+	if st.Init != nil {
+		fl.stmt(st.Init)
+	}
+	headB := fl.b.NewBlock("for.head")
+	bodyB := fl.b.NewBlock("for.body")
+	postB := fl.b.NewBlock("for.post")
+	exitB := fl.b.NewBlock("for.exit")
+	fl.b.Br(headB)
+	fl.b.SetInsert(headB)
+	if st.Cond != nil {
+		fl.cond(st.Cond, bodyB, exitB)
+	} else {
+		fl.b.Br(bodyB)
+	}
+	fl.breakTargets = append(fl.breakTargets, exitB)
+	fl.continueTargets = append(fl.continueTargets, postB)
+	fl.b.SetInsert(bodyB)
+	fl.stmts(st.Body.Stmts)
+	if !fl.b.Terminated() {
+		fl.b.Br(postB)
+	}
+	fl.breakTargets = fl.breakTargets[:len(fl.breakTargets)-1]
+	fl.continueTargets = fl.continueTargets[:len(fl.continueTargets)-1]
+	fl.b.SetInsert(postB)
+	if st.Post != nil {
+		fl.stmt(st.Post)
+	}
+	fl.b.Br(headB)
+	fl.b.SetInsert(exitB)
+}
+
+func (fl *funcLowerer) switchStmt(st *minic.SwitchStmt) {
+	tag := fl.expr(st.Tag)
+	doneB := fl.b.NewBlock("switch.done")
+	caseBlocks := make([]int, len(st.Cases))
+	caseVals := make([]int64, len(st.Cases))
+	for i, cs := range st.Cases {
+		caseBlocks[i] = fl.b.NewBlock(fmt.Sprintf("case.%d", cs.Value))
+		caseVals[i] = cs.Value
+	}
+	defaultB := doneB
+	if st.Default != nil {
+		defaultB = fl.b.NewBlock("switch.default")
+	}
+	fl.b.Switch(tag, caseVals, caseBlocks, defaultB)
+	fl.breakTargets = append(fl.breakTargets, doneB)
+	for i, cs := range st.Cases {
+		fl.b.SetInsert(caseBlocks[i])
+		fl.stmts(cs.Body)
+		if !fl.b.Terminated() {
+			fl.b.Br(doneB)
+		}
+	}
+	if st.Default != nil {
+		fl.b.SetInsert(defaultB)
+		fl.stmts(st.Default)
+		if !fl.b.Terminated() {
+			fl.b.Br(doneB)
+		}
+	}
+	fl.breakTargets = fl.breakTargets[:len(fl.breakTargets)-1]
+	fl.b.SetInsert(doneB)
+}
+
+// cond lowers a boolean expression directly into control flow, splitting
+// short-circuit operators and logical negation into branches so the CFG
+// matches what a real compiler emits.
+func (fl *funcLowerer) cond(e minic.Expr, tBlk, fBlk int) {
+	switch ex := e.(type) {
+	case *minic.BinaryExpr:
+		switch ex.Op {
+		case minic.BinLogAnd:
+			mid := fl.b.NewBlock("land.rhs")
+			fl.cond(ex.X, mid, fBlk)
+			fl.b.SetInsert(mid)
+			fl.cond(ex.Y, tBlk, fBlk)
+			return
+		case minic.BinLogOr:
+			mid := fl.b.NewBlock("lor.rhs")
+			fl.cond(ex.X, tBlk, mid)
+			fl.b.SetInsert(mid)
+			fl.cond(ex.Y, tBlk, fBlk)
+			return
+		}
+	case *minic.UnaryExpr:
+		if ex.Op == minic.UnNot {
+			fl.cond(ex.X, fBlk, tBlk)
+			return
+		}
+	}
+	v := fl.expr(e)
+	fl.b.CondBr(v, tBlk, fBlk)
+}
+
+var binOpMap = map[minic.BinOp]ir.Op{
+	minic.BinAdd: ir.OpAdd, minic.BinSub: ir.OpSub, minic.BinMul: ir.OpMul,
+	minic.BinDiv: ir.OpDiv, minic.BinRem: ir.OpRem, minic.BinAnd: ir.OpAnd,
+	minic.BinOr: ir.OpOr, minic.BinXor: ir.OpXor, minic.BinShl: ir.OpShl,
+	minic.BinShr: ir.OpShr, minic.BinEq: ir.OpEq, minic.BinNe: ir.OpNe,
+	minic.BinLt: ir.OpLt, minic.BinLe: ir.OpLe, minic.BinGt: ir.OpGt,
+	minic.BinGe: ir.OpGe,
+}
+
+// expr lowers an expression in value context and returns its Value.
+func (fl *funcLowerer) expr(e minic.Expr) ir.Value {
+	switch ex := e.(type) {
+	case *minic.NumLit:
+		return ir.ConstVal(ex.Val)
+	case *minic.Ident:
+		sym := fl.fi.Use[ex]
+		switch sym.Kind {
+		case minic.SymScalar:
+			return ir.RegVal(ir.Reg(sym.Index))
+		case minic.SymGlobalScalar:
+			r := fl.b.NewReg()
+			fl.b.EmitGLoad(r, sym.Index)
+			return ir.RegVal(r)
+		}
+		panic("lower: array identifier in scalar context escaped the checker")
+	case *minic.IndexExpr:
+		sym := fl.fi.IndexUse[ex]
+		idx := fl.expr(ex.Index)
+		r := fl.b.NewReg()
+		fl.b.EmitLoad(r, arrayRef(sym), idx)
+		return ir.RegVal(r)
+	case *minic.CallExpr:
+		return fl.call(ex)
+	case *minic.BinaryExpr:
+		if ex.Op == minic.BinLogAnd || ex.Op == minic.BinLogOr {
+			return fl.boolValue(ex)
+		}
+		x := fl.expr(ex.X)
+		y := fl.expr(ex.Y)
+		r := fl.b.NewReg()
+		fl.b.EmitBin(r, binOpMap[ex.Op], x, y)
+		return ir.RegVal(r)
+	case *minic.UnaryExpr:
+		x := fl.expr(ex.X)
+		r := fl.b.NewReg()
+		if ex.Op == minic.UnNeg {
+			fl.b.EmitUn(r, ir.OpNeg, x)
+		} else {
+			fl.b.EmitUn(r, ir.OpNot, x)
+		}
+		return ir.RegVal(r)
+	}
+	panic(fmt.Sprintf("lower: unknown expression %T", e))
+}
+
+// boolValue materializes a short-circuit expression as 0/1 through a
+// diamond of blocks.
+func (fl *funcLowerer) boolValue(e minic.Expr) ir.Value {
+	r := fl.b.NewReg()
+	tB := fl.b.NewBlock("bool.true")
+	fB := fl.b.NewBlock("bool.false")
+	doneB := fl.b.NewBlock("bool.done")
+	fl.cond(e, tB, fB)
+	fl.b.SetInsert(tB)
+	fl.b.EmitConst(r, 1)
+	fl.b.Br(doneB)
+	fl.b.SetInsert(fB)
+	fl.b.EmitConst(r, 0)
+	fl.b.Br(doneB)
+	fl.b.SetInsert(doneB)
+	return ir.RegVal(r)
+}
+
+func (fl *funcLowerer) call(ex *minic.CallExpr) ir.Value {
+	target := fl.fi.Calls[ex]
+	if target == minic.BuiltinOut {
+		v := fl.expr(ex.Args[0])
+		fl.b.EmitOut(v)
+		return ir.ConstVal(0)
+	}
+	callee := fl.info.Prog.Funcs[target]
+	args := make([]ir.Arg, len(ex.Args))
+	for i, a := range ex.Args {
+		if callee.Params[i].IsArray {
+			id := a.(*minic.Ident)
+			args[i] = ir.ArrayArg(arrayRef(fl.fi.Use[id]))
+			continue
+		}
+		args[i] = ir.ScalarArg(fl.expr(a))
+	}
+	r := fl.b.NewReg()
+	fl.b.EmitCall(r, target, args)
+	return ir.RegVal(r)
+}

@@ -1,0 +1,43 @@
+package machine
+
+import "testing"
+
+// TestFigure1DerivesTable3 ties the two paper artifacts together: the
+// pipeline diagram of Figure 1 must derive exactly the penalty constants
+// of Table 3 that Alpha21164() hard-codes.
+func TestFigure1DerivesTable3(t *testing.T) {
+	p := Alpha21164Pipeline()
+	m := Alpha21164()
+	if got := p.MisfetchPenalty(); got != m.CondTakenCorrect {
+		t.Errorf("derived misfetch %d != model's taken-correct penalty %d", got, m.CondTakenCorrect)
+	}
+	if got := p.MispredictPenalty(); got != m.CondMispredict {
+		t.Errorf("derived mispredict %d != model's mispredict penalty %d", got, m.CondMispredict)
+	}
+	// The inserted-jump cost is the branch slot itself plus the misfetch.
+	if m.JumpCost != 1+p.MisfetchPenalty() {
+		t.Errorf("JumpCost %d != 1 + misfetch %d", m.JumpCost, p.MisfetchPenalty())
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	p := Alpha21164Pipeline()
+	if len(p.Stages) != 7 {
+		t.Fatalf("21164 model has %d stages, want 7", len(p.Stages))
+	}
+	for i, s := range p.Stages {
+		if s.Index != i {
+			t.Errorf("stage %d has index %d", i, s.Index)
+		}
+		if s.Name == "" {
+			t.Errorf("stage %d unnamed", i)
+		}
+	}
+}
+
+func TestPipelinePenaltiesZeroWithoutMarks(t *testing.T) {
+	p := Pipeline{Stages: []Stage{{Index: 0, Name: "only"}}}
+	if p.MisfetchPenalty() != 0 || p.MispredictPenalty() != 0 {
+		t.Error("unmarked pipeline should derive zero penalties")
+	}
+}

@@ -1,0 +1,228 @@
+package minic
+
+// Program is a parsed Mini-C compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array.
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int64 // array element count when IsArray
+}
+
+// Param is a function parameter; arrays are passed by reference.
+type Param struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// StartPos returns the position of the expression's first token.
+	StartPos() Pos
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDecl declares a function-local scalar (with optional initializer) or
+// array (zero-initialized).
+type VarDecl struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int64
+	Init    Expr // nil unless scalar with initializer
+}
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is a conditional with an optional else branch (which may itself
+// be another IfStmt for else-if chains).
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop; Init and Post are optional simple
+// statements (assignments or expression statements) and Cond is optional.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// SwitchCase is one case arm. Mini-C cases do not fall through.
+type SwitchCase struct {
+	Pos   Pos
+	Value int64
+	Body  []Stmt
+}
+
+// SwitchStmt is a multiway branch on an integer tag.
+type SwitchStmt struct {
+	Pos     Pos
+	Tag     Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil when absent
+}
+
+// BreakStmt exits the innermost enclosing loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt advances the innermost enclosing loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the function; Value may be nil (returns 0).
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (typically a
+// call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int64
+}
+
+// Ident references a scalar variable (or an array when used as a call
+// argument).
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function. The builtin "out" emits a value to the
+// program output stream.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// BinOp enumerates Mini-C binary operators, including the short-circuit
+// logical ones (which lower to control flow, not data flow).
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinLogAnd
+	BinLogOr
+)
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	UnNeg UnOp = iota
+	UnNot
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+func (*NumLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+
+// StartPos implementations.
+func (e *NumLit) StartPos() Pos     { return e.Pos }
+func (e *Ident) StartPos() Pos      { return e.Pos }
+func (e *IndexExpr) StartPos() Pos  { return e.Pos }
+func (e *CallExpr) StartPos() Pos   { return e.Pos }
+func (e *BinaryExpr) StartPos() Pos { return e.Pos }
+func (e *UnaryExpr) StartPos() Pos  { return e.Pos }

@@ -1,0 +1,399 @@
+package minic
+
+import "fmt"
+
+// SymKind classifies a resolved name.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymScalar SymKind = iota // function-local scalar (register Index)
+	SymArray                 // function-local or parameter array (frame slot Index)
+	SymGlobalScalar
+	SymGlobalArray
+)
+
+// Symbol is the resolution of a name occurrence. For SymScalar, Index is
+// the ir register; for SymArray, the frame array slot (parameters first);
+// for globals, the module-level index.
+type Symbol struct {
+	Kind  SymKind
+	Index int
+	Size  int64 // element count for arrays (0 for by-reference parameters)
+}
+
+// BuiltinOut is the Calls value marking a call to the builtin out().
+const BuiltinOut = -1
+
+// FuncInfo carries the checker's results for one function: storage
+// assignment plus per-node name resolutions consumed by package lower.
+type FuncInfo struct {
+	Decl *FuncDecl
+	// NumScalars counts scalar storage slots (registers holding named
+	// variables); scalar parameters occupy the first slots in parameter
+	// order.
+	NumScalars int
+	// ArrayParamCount is the number of array parameters (frame slots
+	// 0..ArrayParamCount-1).
+	ArrayParamCount int
+	// LocalArraySizes lists the sizes of declared local arrays, occupying
+	// frame slots ArrayParamCount, ArrayParamCount+1, ...
+	LocalArraySizes []int64
+
+	Use      map[*Ident]Symbol
+	IndexUse map[*IndexExpr]Symbol
+	Assign   map[*AssignStmt]Symbol
+	Decls    map[*VarDecl]Symbol
+	Calls    map[*CallExpr]int
+}
+
+// Info is the checked program: the AST plus symbol tables and
+// resolutions.
+type Info struct {
+	Prog          *Program
+	GlobalScalars []string
+	GlobalArrays  []*GlobalDecl
+	FuncIndex     map[string]int
+	Funcs         []*FuncInfo
+}
+
+// Check performs semantic analysis: name resolution, shape checking
+// (scalar vs array), call arity/shape checking, and break/continue
+// placement. On success it returns the Info needed for lowering.
+func Check(prog *Program) (*Info, error) {
+	info := &Info{
+		Prog:      prog,
+		FuncIndex: map[string]int{},
+	}
+	globalScalar := map[string]int{}
+	globalArray := map[string]int{}
+	seen := map[string]Pos{}
+	for _, g := range prog.Globals {
+		if prev, dup := seen[g.Name]; dup {
+			return nil, errf(g.Pos, "global %q redeclared (previous declaration at %s)", g.Name, prev)
+		}
+		seen[g.Name] = g.Pos
+		if g.IsArray {
+			globalArray[g.Name] = len(info.GlobalArrays)
+			info.GlobalArrays = append(info.GlobalArrays, g)
+		} else {
+			globalScalar[g.Name] = len(info.GlobalScalars)
+			info.GlobalScalars = append(info.GlobalScalars, g.Name)
+		}
+	}
+	for i, f := range prog.Funcs {
+		if prev, dup := info.FuncIndex[f.Name]; dup {
+			return nil, errf(f.Pos, "function %q redeclared (previous declaration is function %d)", f.Name, prev)
+		}
+		if _, dup := seen[f.Name]; dup {
+			return nil, errf(f.Pos, "function %q collides with a global of the same name", f.Name)
+		}
+		info.FuncIndex[f.Name] = i
+	}
+	for _, f := range prog.Funcs {
+		fi, err := checkFunc(info, globalScalar, globalArray, f)
+		if err != nil {
+			return nil, err
+		}
+		info.Funcs = append(info.Funcs, fi)
+	}
+	return info, nil
+}
+
+// checker tracks per-function state during semantic analysis.
+type checker struct {
+	info         *Info
+	globalScalar map[string]int
+	globalArray  map[string]int
+	fi           *FuncInfo
+	scopes       []map[string]Symbol
+	loopDepth    int // loops + switches for break; loops only tracked separately
+	breakables   int
+}
+
+func checkFunc(info *Info, gs, ga map[string]int, f *FuncDecl) (*FuncInfo, error) {
+	fi := &FuncInfo{
+		Decl:     f,
+		Use:      map[*Ident]Symbol{},
+		IndexUse: map[*IndexExpr]Symbol{},
+		Assign:   map[*AssignStmt]Symbol{},
+		Decls:    map[*VarDecl]Symbol{},
+		Calls:    map[*CallExpr]int{},
+	}
+	c := &checker{info: info, globalScalar: gs, globalArray: ga, fi: fi}
+	c.push()
+	seen := map[string]Pos{}
+	for _, p := range f.Params {
+		if prev, dup := seen[p.Name]; dup {
+			return nil, errf(p.Pos, "parameter %q redeclared (previous at %s)", p.Name, prev)
+		}
+		seen[p.Name] = p.Pos
+		if p.IsArray {
+			c.declare(p.Name, Symbol{Kind: SymArray, Index: fi.ArrayParamCount})
+			fi.ArrayParamCount++
+		} else {
+			c.declare(p.Name, Symbol{Kind: SymScalar, Index: fi.NumScalars})
+			fi.NumScalars++
+		}
+	}
+	if err := c.block(f.Body); err != nil {
+		return nil, err
+	}
+	c.pop()
+	return fi, nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, s Symbol) {
+	c.scopes[len(c.scopes)-1][name] = s
+}
+
+// lookup resolves a name through local scopes, then globals. The second
+// result reports whether the name was found.
+func (c *checker) lookup(name string) (Symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	if gi, ok := c.globalScalar[name]; ok {
+		return Symbol{Kind: SymGlobalScalar, Index: gi}, true
+	}
+	if gi, ok := c.globalArray[name]; ok {
+		return Symbol{Kind: SymGlobalArray, Index: gi, Size: c.info.GlobalArrays[gi].Size}, true
+	}
+	return Symbol{}, false
+}
+
+func (c *checker) block(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.block(st)
+	case *VarDecl:
+		if _, dup := c.scopes[len(c.scopes)-1][st.Name]; dup {
+			return errf(st.Pos, "variable %q redeclared in this scope", st.Name)
+		}
+		if st.IsArray {
+			sym := Symbol{Kind: SymArray, Index: c.fi.ArrayParamCount + len(c.fi.LocalArraySizes), Size: st.Size}
+			c.fi.LocalArraySizes = append(c.fi.LocalArraySizes, st.Size)
+			c.declare(st.Name, sym)
+			c.fi.Decls[st] = sym
+			return nil
+		}
+		if st.Init != nil {
+			if err := c.scalarExpr(st.Init); err != nil {
+				return err
+			}
+		}
+		sym := Symbol{Kind: SymScalar, Index: c.fi.NumScalars}
+		c.fi.NumScalars++
+		c.declare(st.Name, sym)
+		c.fi.Decls[st] = sym
+		return nil
+	case *AssignStmt:
+		sym, ok := c.lookup(st.Name)
+		if !ok {
+			return errf(st.Pos, "undefined variable %q", st.Name)
+		}
+		if st.Index != nil {
+			if sym.Kind != SymArray && sym.Kind != SymGlobalArray {
+				return errf(st.Pos, "%q is not an array", st.Name)
+			}
+			if err := c.scalarExpr(st.Index); err != nil {
+				return err
+			}
+		} else if sym.Kind != SymScalar && sym.Kind != SymGlobalScalar {
+			return errf(st.Pos, "cannot assign to array %q without an index", st.Name)
+		}
+		if err := c.scalarExpr(st.Value); err != nil {
+			return err
+		}
+		c.fi.Assign[st] = sym
+		return nil
+	case *IfStmt:
+		if err := c.scalarExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.stmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.scalarExpr(st.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		c.breakables++
+		err := c.block(st.Body)
+		c.loopDepth--
+		c.breakables--
+		return err
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.scalarExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		c.breakables++
+		err := c.block(st.Body)
+		c.loopDepth--
+		c.breakables--
+		return err
+	case *SwitchStmt:
+		if err := c.scalarExpr(st.Tag); err != nil {
+			return err
+		}
+		seen := map[int64]Pos{}
+		for _, cs := range st.Cases {
+			if prev, dup := seen[cs.Value]; dup {
+				return errf(cs.Pos, "duplicate case %d (previous at %s)", cs.Value, prev)
+			}
+			seen[cs.Value] = cs.Pos
+		}
+		c.breakables++
+		defer func() { c.breakables-- }()
+		for _, cs := range st.Cases {
+			c.push()
+			for _, s := range cs.Body {
+				if err := c.stmt(s); err != nil {
+					c.pop()
+					return err
+				}
+			}
+			c.pop()
+		}
+		c.push()
+		defer c.pop()
+		for _, s := range st.Default {
+			if err := c.stmt(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *BreakStmt:
+		if c.breakables == 0 {
+			return errf(st.Pos, "break outside loop or switch")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if st.Value != nil {
+			return c.scalarExpr(st.Value)
+		}
+		return nil
+	case *ExprStmt:
+		return c.scalarExpr(st.X)
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// scalarExpr checks an expression used in scalar (value) context.
+func (c *checker) scalarExpr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumLit:
+		return nil
+	case *Ident:
+		sym, ok := c.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if sym.Kind == SymArray || sym.Kind == SymGlobalArray {
+			return errf(ex.Pos, "array %q used as a scalar value", ex.Name)
+		}
+		c.fi.Use[ex] = sym
+		return nil
+	case *IndexExpr:
+		sym, ok := c.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if sym.Kind != SymArray && sym.Kind != SymGlobalArray {
+			return errf(ex.Pos, "%q is not an array", ex.Name)
+		}
+		c.fi.IndexUse[ex] = sym
+		return c.scalarExpr(ex.Index)
+	case *CallExpr:
+		return c.call(ex)
+	case *BinaryExpr:
+		if err := c.scalarExpr(ex.X); err != nil {
+			return err
+		}
+		return c.scalarExpr(ex.Y)
+	case *UnaryExpr:
+		return c.scalarExpr(ex.X)
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}
+
+func (c *checker) call(ex *CallExpr) error {
+	if ex.Name == "out" {
+		if len(ex.Args) != 1 {
+			return errf(ex.Pos, "out() takes exactly one argument, got %d", len(ex.Args))
+		}
+		c.fi.Calls[ex] = BuiltinOut
+		return c.scalarExpr(ex.Args[0])
+	}
+	fIdx, ok := c.info.FuncIndex[ex.Name]
+	if !ok {
+		return errf(ex.Pos, "call to undefined function %q", ex.Name)
+	}
+	callee := c.info.Prog.Funcs[fIdx]
+	if len(ex.Args) != len(callee.Params) {
+		return errf(ex.Pos, "call to %q with %d arguments, want %d", ex.Name, len(ex.Args), len(callee.Params))
+	}
+	for i, a := range ex.Args {
+		if callee.Params[i].IsArray {
+			id, isIdent := a.(*Ident)
+			if !isIdent {
+				return errf(a.StartPos(), "argument %d of %q must be an array name", i+1, ex.Name)
+			}
+			sym, found := c.lookup(id.Name)
+			if !found {
+				return errf(id.Pos, "undefined variable %q", id.Name)
+			}
+			if sym.Kind != SymArray && sym.Kind != SymGlobalArray {
+				return errf(id.Pos, "argument %d of %q must be an array, %q is a scalar", i+1, ex.Name, id.Name)
+			}
+			c.fi.Use[id] = sym
+			continue
+		}
+		if err := c.scalarExpr(a); err != nil {
+			return err
+		}
+	}
+	c.fi.Calls[ex] = fIdx
+	return nil
+}

@@ -1,0 +1,63 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the front end never panics: any input either
+// parses + checks or returns a positioned error. Run with
+// `go test -fuzz=FuzzParse ./internal/minic` for continuous fuzzing; the
+// seed corpus below runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { return 0; }",
+		"global a[10]; func f(x[]) { return x[0]; }",
+		"func f() { if (1 && 2 || !3) { out(4); } }",
+		"func f(x) { switch (x) { case -1: break; default: } return 0; }",
+		"func f() { for (;;) { break; } }",
+		"func f() { var a[3]; a[0] = a[1] + a[2]; }",
+		"func f() { while (1) { continue; } }",
+		"fnc main() {}",
+		"func main( { }",
+		"func f() { var x = ((((1)))); return x; }",
+		"func f() { return 0x7fffffffffffffff; }",
+		"func f() { return 1 +",
+		"/* unterminated",
+		"func f() { out(1 2); }",
+		"global g; global g;",
+		"func f() { x = 1; }",
+		strings.Repeat("func f() { return 0; }\n", 5),
+		"func f(" + strings.Repeat("a,", 100) + "b) { return 0; }",
+		"func f() {" + strings.Repeat("{", 50) + strings.Repeat("}", 50) + "}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Anything that parses must either check cleanly or error.
+		_, _ = Check(prog)
+	})
+}
+
+// FuzzLex checks the lexer alone on arbitrary bytes.
+func FuzzLex(f *testing.F) {
+	f.Add("func main() {}")
+	f.Add("0x")
+	f.Add("\x00\xff")
+	f.Add("a /*/ b")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := LexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("lexer returned token stream without EOF")
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package minic
+
+import "strconv"
+
+// Lexer turns Mini-C source text into tokens. It supports decimal and
+// hexadecimal integers, // line comments and /* block */ comments.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer literal %q: %v", text, err)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: n, Pos: pos}, nil
+	}
+	l.advance()
+	two := func(second byte, with, without TokKind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: with, Pos: pos}, nil
+		}
+		return Token{Kind: without, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokBang)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt)
+	case '&':
+		return two('&', TokAndAnd, TokAmp)
+	case '|':
+		return two('|', TokOrOr, TokPipe)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// LexAll tokenizes the whole input (including the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

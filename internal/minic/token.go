@@ -1,0 +1,121 @@
+// Package minic implements the Mini-C language front end: a small
+// imperative language (integers, fixed-size arrays, functions, loops,
+// switches, short-circuit booleans) that stands in for the C and Fortran
+// sources of the paper's SPEC92 benchmarks. Mini-C programs compile
+// (package lower) to the basic-block IR of package ir, producing the
+// control-flow graphs on which branch alignment operates.
+package minic
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokFunc
+	TokGlobal
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokSwitch
+	TokCase
+	TokDefault
+	TokBreak
+	TokContinue
+	TokReturn
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokColon
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokFunc: "func", TokGlobal: "global", TokVar: "var", TokIf: "if",
+	TokElse: "else", TokWhile: "while", TokFor: "for", TokSwitch: "switch",
+	TokCase: "case", TokDefault: "default", TokBreak: "break",
+	TokContinue: "continue", TokReturn: "return",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokColon: ":", TokAssign: "=", TokPlus: "+", TokMinus: "-",
+	TokStar: "*", TokSlash: "/", TokPercent: "%", TokAmp: "&",
+	TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">",
+	TokGe: ">=", TokAndAnd: "&&", TokOrOr: "||", TokBang: "!",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"func": TokFunc, "global": TokGlobal, "var": TokVar, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "for": TokFor, "switch": TokSwitch,
+	"case": TokCase, "default": TokDefault, "break": TokBreak,
+	"continue": TokContinue, "return": TokReturn,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int64
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,217 @@
+// Package opt implements CFG cleanup passes over the IR: constant branch
+// folding, jump threading through empty blocks, straight-line block
+// merging, and unreachable-block elimination. A production compiler (the
+// paper used SUIF) runs exactly this kind of cleanup before code
+// placement; running it here both makes the benchmark CFGs more
+// realistic (lowering produces empty join blocks that no real backend
+// would keep) and enables an ablation: how much of the alignment benefit
+// survives when the compiler has already removed the trivial jumps?
+package opt
+
+import (
+	"fmt"
+
+	"branchalign/internal/ir"
+)
+
+// Stats counts the simplifications applied.
+type Stats struct {
+	FoldedBranches    int // condbr/switch on constants rewritten to br
+	ThreadedEdges     int // edges redirected through empty br-only blocks
+	MergedBlocks      int // single-pred/single-succ chains merged
+	UnreachableBlocks int // blocks removed
+	CollapsedCondBrs  int // condbrs with identical targets turned into brs
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.FoldedBranches += other.FoldedBranches
+	s.ThreadedEdges += other.ThreadedEdges
+	s.MergedBlocks += other.MergedBlocks
+	s.UnreachableBlocks += other.UnreachableBlocks
+	s.CollapsedCondBrs += other.CollapsedCondBrs
+}
+
+// Module simplifies every function of mod in place and returns aggregate
+// statistics. The module verifies afterwards; Module panics if a pass
+// broke an invariant (which would be a bug in this package).
+func Module(mod *ir.Module) Stats {
+	var total Stats
+	for _, f := range mod.Funcs {
+		total.Add(Func(f))
+	}
+	if err := mod.Verify(); err != nil {
+		panic(fmt.Sprintf("opt: produced invalid IR: %v", err))
+	}
+	return total
+}
+
+// Func simplifies one function in place to a fixpoint.
+func Func(f *ir.Func) Stats {
+	var total Stats
+	for {
+		var round Stats
+		round.FoldedBranches = foldConstantBranches(f)
+		round.CollapsedCondBrs = collapseSameTargetCondBrs(f)
+		round.ThreadedEdges = threadEmptyBlocks(f)
+		round.MergedBlocks = mergeChains(f)
+		round.UnreachableBlocks = removeUnreachable(f)
+		total.Add(round)
+		if round == (Stats{}) {
+			return total
+		}
+	}
+}
+
+// foldConstantBranches rewrites condbr/switch whose operand is a
+// constant into unconditional branches.
+func foldConstantBranches(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		t := &b.Term
+		switch t.Kind {
+		case ir.TermCondBr:
+			if !t.Cond.IsConst {
+				continue
+			}
+			target := t.Succs[1]
+			if t.Cond.Const != 0 {
+				target = t.Succs[0]
+			}
+			*t = ir.Terminator{Kind: ir.TermBr, Succs: []int{target}}
+			n++
+		case ir.TermSwitch:
+			if !t.Cond.IsConst {
+				continue
+			}
+			target := t.Succs[len(t.Succs)-1] // default
+			for ci, cv := range t.Cases {
+				if cv == t.Cond.Const {
+					target = t.Succs[ci]
+					break
+				}
+			}
+			*t = ir.Terminator{Kind: ir.TermBr, Succs: []int{target}}
+			n++
+		}
+	}
+	return n
+}
+
+// collapseSameTargetCondBrs turns condbr with identical successors
+// (which jump threading can create) into br. The condition's side
+// effects, if any, were computed by earlier instructions, so dropping
+// the branch itself is safe.
+func collapseSameTargetCondBrs(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		if b.Term.Kind == ir.TermCondBr && b.Term.Succs[0] == b.Term.Succs[1] {
+			b.Term = ir.Terminator{Kind: ir.TermBr, Succs: []int{b.Term.Succs[0]}}
+			n++
+		}
+	}
+	return n
+}
+
+// threadEmptyBlocks redirects edges that enter an instruction-free block
+// ending in an unconditional branch straight to that branch's final
+// destination (following chains, guarding against cycles).
+func threadEmptyBlocks(f *ir.Func) int {
+	resolve := func(start int) int {
+		seen := map[int]bool{}
+		cur := start
+		for {
+			b := f.Blocks[cur]
+			if len(b.Instrs) != 0 || b.Term.Kind != ir.TermBr || seen[cur] {
+				return cur
+			}
+			seen[cur] = true
+			cur = b.Term.Succs[0]
+		}
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for si, s := range b.Term.Succs {
+			if t := resolve(s); t != s {
+				b.Term.Succs[si] = t
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// mergeChains merges block B into its unique predecessor A when A ends
+// in an unconditional branch to B and B has no other predecessors
+// (and B is not the entry block).
+func mergeChains(f *ir.Func) int {
+	n := 0
+	for {
+		preds := f.Preds()
+		merged := false
+		for _, a := range f.Blocks {
+			if a.Term.Kind != ir.TermBr {
+				continue
+			}
+			bID := a.Term.Succs[0]
+			if bID == 0 || bID == a.ID {
+				continue
+			}
+			if len(preds[bID]) != 1 {
+				continue
+			}
+			b := f.Blocks[bID]
+			a.Instrs = append(a.Instrs, b.Instrs...)
+			a.Term = b.Term
+			// Neutralize b; removeUnreachable will drop it.
+			b.Instrs = nil
+			b.Term = ir.Terminator{Kind: ir.TermBr, Succs: []int{b.ID}}
+			n++
+			merged = true
+			break // predecessor lists are stale; recompute
+		}
+		if !merged {
+			return n
+		}
+	}
+}
+
+// removeUnreachable drops blocks not reachable from the entry and
+// renumbers the survivors.
+func removeUnreachable(f *ir.Func) int {
+	reachable := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	reachable[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[b].Term.Succs {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	removed := 0
+	for i, b := range f.Blocks {
+		if !reachable[i] {
+			removed++
+			continue
+		}
+		remap[i] = len(kept)
+		b.ID = len(kept)
+		kept = append(kept, b)
+	}
+	if removed == 0 {
+		return 0
+	}
+	for _, b := range kept {
+		for si, s := range b.Term.Succs {
+			b.Term.Succs[si] = remap[s]
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

@@ -1,0 +1,85 @@
+package pipe
+
+// PredictorKind selects the branch-prediction model used when the
+// simulator charges control penalties.
+type PredictorKind int
+
+// Predictor kinds.
+const (
+	// PredictStatic is the paper's default: every conditional branch is
+	// statically predicted toward its most common training-profile
+	// successor; multiway branches toward their most common target.
+	PredictStatic PredictorKind = iota
+	// PredictTwoBit simulates hardware prediction: a table of 2-bit
+	// saturating counters for conditional-branch directions (a classic
+	// branch history table) plus a branch target buffer for multiway
+	// targets, both indexed by branch address and therefore subject to
+	// aliasing — the trace-driven simulation the paper's footnote 6
+	// sketches, aliasing effects included.
+	PredictTwoBit
+)
+
+// PredictorConfig sizes the dynamic tables.
+type PredictorConfig struct {
+	Kind PredictorKind
+	// DirectionEntries is the number of 2-bit counters (power of two;
+	// default 2048). Smaller tables alias more.
+	DirectionEntries int
+	// TargetEntries is the number of BTB slots for multiway targets
+	// (power of two; default 512).
+	TargetEntries int
+}
+
+func (c PredictorConfig) normalized() PredictorConfig {
+	if c.DirectionEntries <= 0 {
+		c.DirectionEntries = 2048
+	}
+	if c.TargetEntries <= 0 {
+		c.TargetEntries = 512
+	}
+	return c
+}
+
+// twoBitPredictor holds the dynamic predictor state.
+type twoBitPredictor struct {
+	counters []uint8 // 2-bit saturating; >= 2 predicts taken
+	targets  []int64 // predicted target address per BTB slot; -1 empty
+}
+
+func newTwoBitPredictor(cfg PredictorConfig) *twoBitPredictor {
+	p := &twoBitPredictor{
+		counters: make([]uint8, cfg.DirectionEntries),
+		targets:  make([]int64, cfg.TargetEntries),
+	}
+	for i := range p.counters {
+		p.counters[i] = 1 // weakly not-taken
+	}
+	for i := range p.targets {
+		p.targets[i] = -1
+	}
+	return p
+}
+
+// predictDirection returns the predicted direction for the branch at
+// addr and updates the counter with the actual outcome.
+func (p *twoBitPredictor) predictDirection(addr int64, taken bool) (predictedTaken bool) {
+	idx := uint64(addr) % uint64(len(p.counters))
+	predictedTaken = p.counters[idx] >= 2
+	if taken {
+		if p.counters[idx] < 3 {
+			p.counters[idx]++
+		}
+	} else if p.counters[idx] > 0 {
+		p.counters[idx]--
+	}
+	return predictedTaken
+}
+
+// predictTarget returns whether the BTB correctly predicted the target
+// address for the indirect branch at addr, updating the entry.
+func (p *twoBitPredictor) predictTarget(addr, target int64) bool {
+	idx := uint64(addr) % uint64(len(p.targets))
+	hit := p.targets[idx] == target
+	p.targets[idx] = target
+	return hit
+}

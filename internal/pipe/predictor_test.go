@@ -1,0 +1,162 @@
+package pipe
+
+import (
+	"testing"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/testutil"
+)
+
+func TestTwoBitPredictorSaturation(t *testing.T) {
+	p := newTwoBitPredictor(PredictorConfig{}.normalized())
+	addr := int64(100)
+	// Initially weakly not-taken.
+	if got := p.predictDirection(addr, true); got {
+		t.Error("fresh counter should predict not-taken")
+	}
+	// After two taken outcomes, predicts taken.
+	p.predictDirection(addr, true)
+	if got := p.predictDirection(addr, true); !got {
+		t.Error("counter should have learned taken")
+	}
+	// A single not-taken does not flip a saturated counter.
+	p.predictDirection(addr, false)
+	if got := p.predictDirection(addr, true); !got {
+		t.Error("2-bit hysteresis lost")
+	}
+}
+
+func TestTwoBitPredictorAliasing(t *testing.T) {
+	p := newTwoBitPredictor(PredictorConfig{DirectionEntries: 4, TargetEntries: 4})
+	// Branches at addresses 0 and 4 alias in a 4-entry table; training
+	// one the other way destroys the first's state.
+	for i := 0; i < 4; i++ {
+		p.predictDirection(0, true)
+	}
+	for i := 0; i < 4; i++ {
+		p.predictDirection(4, false)
+	}
+	if p.predictDirection(0, true) {
+		t.Error("aliased counter should have been retrained not-taken")
+	}
+}
+
+func TestBTBPredictsLastTarget(t *testing.T) {
+	p := newTwoBitPredictor(PredictorConfig{}.normalized())
+	if p.predictTarget(8, 100) {
+		t.Error("cold BTB should miss")
+	}
+	if !p.predictTarget(8, 100) {
+		t.Error("warm BTB should hit on repeated target")
+	}
+	if p.predictTarget(8, 200) {
+		t.Error("changed target should miss")
+	}
+}
+
+// TestDynamicPredictionBeatsStaticOnBiasedFlippingBranch: a branch whose
+// bias reverses mid-run defeats static prediction (trained on the whole
+// profile) but a dynamic counter adapts.
+func TestDynamicPredictionAdapts(t *testing.T) {
+	src := `
+func main(input[], n) {
+	var i;
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (input[i] > 0) { s = s + 1; } else { s = s - 1; }
+	}
+	return s;
+}
+`
+	// First half all positive, second half all negative: statically the
+	// branch is 50/50 (max mispredicts on one half); dynamically it
+	// mispredicts only at the phase change.
+	data := make([]int64, 2000)
+	for i := range data {
+		if i < 1000 {
+			data[i] = 1
+		} else {
+			data[i] = -1
+		}
+	}
+	inputs := []interp.Input{interp.ArrayInput(data), interp.ScalarInput(int64(len(data)))}
+	mod, prof, _, err := testutil.CompileAndProfile(src, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Alpha21164()
+	l := layout.Identity(mod, prof, m)
+	tr, _, err := Record(mod, inputs, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticCfg := DefaultConfig()
+	dynCfg := DefaultConfig()
+	dynCfg.Predictor = PredictorConfig{Kind: PredictTwoBit}
+	st := Replay(tr, mod, l, staticCfg)
+	dy := Replay(tr, mod, l, dynCfg)
+	if dy.CondMispredicts >= st.CondMispredicts {
+		t.Errorf("dynamic mispredicts %d should be below static %d on phase-reversing branch",
+			dy.CondMispredicts, st.CondMispredicts)
+	}
+	if dy.Cycles >= st.Cycles {
+		t.Errorf("dynamic cycles %d should beat static %d here", dy.Cycles, st.Cycles)
+	}
+}
+
+// TestTinyPredictorTablesAliasivelyWorse: shrinking the direction table
+// to 2 entries must not reduce mispredicts versus a big table on a
+// branchy workload (aliasing can only hurt) — the paper's footnote-6
+// caveat about aliasing effects.
+func TestTinyPredictorTablesAliasivelyWorse(t *testing.T) {
+	inputs := testutil.BranchyInput(600, 17)
+	mod, prof, _, err := testutil.CompileAndProfile(testutil.BranchySource, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Alpha21164()
+	l := layout.Identity(mod, prof, m)
+	tr, _, err := Record(mod, inputs, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := DefaultConfig()
+	big.Predictor = PredictorConfig{Kind: PredictTwoBit, DirectionEntries: 65536, TargetEntries: 4096}
+	tiny := DefaultConfig()
+	tiny.Predictor = PredictorConfig{Kind: PredictTwoBit, DirectionEntries: 2, TargetEntries: 2}
+	bigStats := Replay(tr, mod, l, big)
+	tinyStats := Replay(tr, mod, l, tiny)
+	if tinyStats.CondMispredicts < bigStats.CondMispredicts {
+		t.Errorf("tiny table mispredicts (%d) below big table (%d)",
+			tinyStats.CondMispredicts, bigStats.CondMispredicts)
+	}
+}
+
+// TestDynamicModeStillChargesFixups: the fixup jump cost and fetch must
+// be charged under both predictor modes.
+func TestDynamicModeStillChargesFixups(t *testing.T) {
+	inputs := testutil.BranchyInput(300, 29)
+	mod, prof, _, err := testutil.CompileAndProfile(testutil.BranchySource, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Alpha21164()
+	l := layout.Identity(mod, prof, m)
+	tr, _, err := Record(mod, inputs, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Predictor = PredictorConfig{Kind: PredictTwoBit}
+	dyn := Replay(tr, mod, l, cfg)
+	static := Replay(tr, mod, l, DefaultConfig())
+	if dyn.FixupJumps != static.FixupJumps {
+		t.Errorf("fixup executions differ across predictor modes: %d vs %d (layout-determined, must match)",
+			dyn.FixupJumps, static.FixupJumps)
+	}
+	if dyn.Instructions != static.Instructions {
+		t.Errorf("fetched instructions differ across predictor modes")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBelowMean(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		return GeoMean([]float64{x, y}) <= Mean([]float64{x, y})+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if got := Ratio(1, 2, -1); got != 0.5 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(1, 0, -1); got != -1 {
+		t.Errorf("Ratio fallback = %v", got)
+	}
+	if got := PercentRemoved(0.64); math.Abs(got-36) > 1e-9 {
+		t.Errorf("PercentRemoved = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("bench", "value")
+	tb.Row("com.in", "11.8M")
+	tb.Rowf("%s|%d", "dod.re", 42)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "bench") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "dod.re") || !strings.Contains(lines[3], "42") {
+		t.Errorf("Rowf row wrong: %q", lines[3])
+	}
+	// Columns aligned: both data rows start the second column at the same
+	// offset.
+	if strings.Index(lines[2], "11.8M") != strings.Index(lines[0], "value") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		11_800_000: "11.8M",
+		1_234_567:  "1.23M",
+		46_500:     "46.5K",
+		999:        "999",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

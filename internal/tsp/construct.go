@@ -1,0 +1,170 @@
+package tsp
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// NearestNeighbor builds a tour by starting at city start and repeatedly
+// moving to the cheapest unvisited city. With rng == nil the choice is
+// deterministic; otherwise each step picks uniformly among the k cheapest
+// unvisited cities (k = 3, per the "randomized Nearest Neighbor starts" of
+// the paper's solver protocol).
+func NearestNeighbor(m *Matrix, start int, rng *rand.Rand) Tour {
+	n := m.Len()
+	visited := make([]bool, n)
+	tour := make(Tour, 0, n)
+	cur := start
+	visited[cur] = true
+	tour = append(tour, cur)
+	type cand struct {
+		city int
+		cost Cost
+	}
+	for len(tour) < n {
+		var best [3]cand
+		nbest := 0
+		for j := 0; j < n; j++ {
+			if visited[j] {
+				continue
+			}
+			c := cand{j, m.At(cur, j)}
+			// Insertion sort into the best-3 buffer.
+			k := nbest
+			if k > len(best)-1 {
+				k = len(best) - 1
+				if c.cost >= best[k].cost {
+					continue
+				}
+			}
+			for k > 0 && best[k-1].cost > c.cost {
+				best[k] = best[k-1]
+				k--
+			}
+			best[k] = c
+			if nbest < len(best) {
+				nbest++
+			}
+		}
+		pick := 0
+		if rng != nil && nbest > 1 {
+			pick = rng.Intn(nbest)
+		}
+		cur = best[pick].city
+		visited[cur] = true
+		tour = append(tour, cur)
+	}
+	return tour
+}
+
+// GreedyEdge builds a tour by sorting all directed edges by cost and
+// accepting each edge whose head still lacks an outgoing edge, whose tail
+// still lacks an incoming edge, and which does not close a premature
+// subcycle. Remaining gaps are stitched with the forced edges. With a
+// non-nil rng the edge order is perturbed (each edge's sort key is
+// multiplied by a factor drawn from [1, 1.25)), giving the "randomized
+// Greedy starts" of the paper's solver protocol.
+func GreedyEdge(m *Matrix, rng *rand.Rand) Tour {
+	n := m.Len()
+	if n == 1 {
+		return Tour{0}
+	}
+	type edge struct {
+		from, to int
+		key      float64
+	}
+	edges := make([]edge, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			key := float64(m.At(i, j))
+			if rng != nil {
+				key *= 1 + rng.Float64()*0.25
+			}
+			edges = append(edges, edge{i, j, key})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].key != edges[b].key {
+			return edges[a].key < edges[b].key
+		}
+		if edges[a].from != edges[b].from {
+			return edges[a].from < edges[b].from
+		}
+		return edges[a].to < edges[b].to
+	})
+
+	next := make([]int, n) // chosen successor, -1 if none
+	prev := make([]int, n) // chosen predecessor, -1 if none
+	for i := range next {
+		next[i] = -1
+		prev[i] = -1
+	}
+	// chainEnd[x] is, for the head x of a chain, the tail of that chain
+	// (and vice versa); used to reject subcycles in O(1) amortized.
+	chainEnd := make([]int, n)
+	for i := range chainEnd {
+		chainEnd[i] = i
+	}
+	accepted := 0
+	for _, e := range edges {
+		if accepted == n-1 {
+			break
+		}
+		if next[e.from] != -1 || prev[e.to] != -1 {
+			continue
+		}
+		// Reject an edge that would close a cycle before all cities join.
+		if chainEnd[e.from] == e.to && accepted < n-1 {
+			continue
+		}
+		next[e.from] = e.to
+		prev[e.to] = e.from
+		// e.from was the tail of a chain whose head is chainEnd[e.from];
+		// e.to was the head of a chain whose tail is chainEnd[e.to]. The
+		// merged chain runs newHead..e.from->e.to..newTail.
+		newHead := chainEnd[e.from]
+		newTail := chainEnd[e.to]
+		chainEnd[newHead] = newTail
+		chainEnd[newTail] = newHead
+		accepted++
+	}
+	// Stitch any remaining chain tails to chain heads. With the subcycle
+	// check above there is exactly one chain left when accepted == n-1;
+	// otherwise several chains remain and we connect them in index order.
+	tour := make(Tour, 0, n)
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if prev[i] != -1 || used[i] {
+			continue
+		}
+		for c := i; c != -1 && !used[c]; c = next[c] {
+			used[c] = true
+			tour = append(tour, c)
+		}
+	}
+	// Cities that ended up in a (degenerate) cycle of chosen edges would be
+	// skipped above; append them defensively. This cannot happen with the
+	// subcycle check, but the guard keeps the function total.
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			for c := i; !used[c]; c = next[c] {
+				used[c] = true
+				tour = append(tour, c)
+			}
+		}
+	}
+	return tour
+}
+
+// IdentityTour returns the tour visiting cities in index order, i.e. the
+// "original ordering given by the compiler" start of the paper's protocol.
+func IdentityTour(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package tsp
+
+import "fmt"
+
+// MaxExactCities bounds the instance size SolveExact accepts; the
+// Held-Karp dynamic program is O(n^2 * 2^n) time and O(n * 2^n) space.
+const MaxExactCities = 20
+
+// SolveExact computes an optimal directed Hamiltonian cycle with the
+// Held-Karp dynamic program. It panics for instances larger than
+// MaxExactCities.
+func SolveExact(m *Matrix) (Tour, Cost) {
+	n := m.Len()
+	if n > MaxExactCities {
+		panic(fmt.Sprintf("tsp: SolveExact: %d cities exceeds limit %d", n, MaxExactCities))
+	}
+	if n == 1 {
+		return Tour{0}, 0
+	}
+	if n == 2 {
+		return Tour{0, 1}, m.At(0, 1) + m.At(1, 0)
+	}
+	// dp[mask][j]: cheapest path from city 0 through exactly the cities in
+	// mask (a subset of {1..n-1}), ending at city j+1... to keep the inner
+	// arrays dense, index j ranges over 1..n-1 shifted down by one.
+	k := n - 1
+	size := 1 << k
+	const inf = Cost(1) << 62
+	dp := make([][]Cost, size)
+	parent := make([][]int8, size)
+	for mask := 1; mask < size; mask++ {
+		dp[mask] = make([]Cost, k)
+		parent[mask] = make([]int8, k)
+		for j := range dp[mask] {
+			dp[mask][j] = inf
+			parent[mask][j] = -1
+		}
+	}
+	for j := 0; j < k; j++ {
+		dp[1<<j][j] = m.At(0, j+1)
+	}
+	for mask := 1; mask < size; mask++ {
+		for j := 0; j < k; j++ {
+			cur := dp[mask][j]
+			if cur >= inf || mask&(1<<j) == 0 {
+				continue
+			}
+			for nxt := 0; nxt < k; nxt++ {
+				if mask&(1<<nxt) != 0 {
+					continue
+				}
+				nm := mask | 1<<nxt
+				cand := cur + m.At(j+1, nxt+1)
+				if cand < dp[nm][nxt] {
+					dp[nm][nxt] = cand
+					parent[nm][nxt] = int8(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best := inf
+	last := -1
+	for j := 0; j < k; j++ {
+		cand := dp[full][j] + m.At(j+1, 0)
+		if cand < best {
+			best = cand
+			last = j
+		}
+	}
+	// Reconstruct the cycle.
+	order := make([]int, 0, n)
+	mask := full
+	for j := last; j >= 0; {
+		order = append(order, j+1)
+		pj := parent[mask][j]
+		mask &^= 1 << j
+		j = int(pj)
+	}
+	tour := make(Tour, 0, n)
+	tour = append(tour, 0)
+	for i := len(order) - 1; i >= 0; i-- {
+		tour = append(tour, order[i])
+	}
+	return tour, best
+}
+
+// SolveBruteForce exhaustively enumerates all (n-1)! cyclic permutations.
+// It is only intended for cross-checking other solvers in tests and
+// panics above 10 cities.
+func SolveBruteForce(m *Matrix) (Tour, Cost) {
+	n := m.Len()
+	if n > 10 {
+		panic(fmt.Sprintf("tsp: SolveBruteForce: %d cities is too many", n))
+	}
+	if n == 1 {
+		return Tour{0}, 0
+	}
+	perm := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		perm = append(perm, i)
+	}
+	best := Tour(nil)
+	var bestCost Cost
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			t := append(Tour{0}, perm...)
+			c := CycleCost(m, t)
+			if best == nil || c < bestCost {
+				best = t.Clone()
+				bestCost = c
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, bestCost
+}

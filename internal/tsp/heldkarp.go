@@ -1,0 +1,182 @@
+package tsp
+
+import "math"
+
+// HeldKarpOptions configures the Lagrangian subgradient ascent used to
+// compute the Held-Karp lower bound.
+type HeldKarpOptions struct {
+	// Iterations of subgradient ascent; <= 0 selects a size-based default.
+	Iterations int
+	// UpperBound is a known tour cost used to scale step sizes. If zero, a
+	// quick nearest-neighbor tour is computed internally. Negative values
+	// are legitimate bounds for shifted instances.
+	UpperBound Cost
+	// InitialAlpha is the initial step-size multiplier (default 2).
+	InitialAlpha float64
+}
+
+// HeldKarpSym computes the Held-Karp lower bound for a symmetric instance
+// via 1-tree Lagrangian relaxation with subgradient ascent (Held & Karp
+// 1970, 1971). The returned value is a valid lower bound on the optimal
+// tour cost for every iteration count: each iterate evaluates
+// L(pi) = w(min 1-tree under reduced costs) - 2*sum(pi), and max over
+// visited pi of L(pi) <= OPT.
+//
+// m must be symmetric; the function panics otherwise (catching accidental
+// use on a raw DTSP matrix, for which HeldKarpDirected exists).
+func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
+	if !m.IsSymmetric() {
+		panic("tsp: HeldKarpSym: matrix is not symmetric")
+	}
+	n := m.Len()
+	if n < 3 {
+		return float64(CycleCost(m, IdentityTour(n)))
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = 100 + 4*n
+		if iters > 1000 {
+			iters = 1000
+		}
+	}
+	ub := opt.UpperBound
+	if ub == 0 {
+		// Unset; negative upper bounds are legitimate for shifted
+		// instances (see HeldKarpDirected).
+		ub = CycleCost(m, NearestNeighbor(m, 0, nil))
+	}
+	alpha := opt.InitialAlpha
+	if alpha <= 0 {
+		alpha = 2
+	}
+
+	pi := make([]float64, n)
+	deg := make([]int, n)
+	best := math.Inf(-1)
+	// Step-size schedule: halve alpha every period iterations.
+	period := iters / 8
+	if period < 5 {
+		period = 5
+	}
+	for it := 0; it < iters; it++ {
+		w := oneTree(m, pi, deg)
+		var piSum float64
+		for _, p := range pi {
+			piSum += p
+		}
+		bound := w - 2*piSum
+		if bound > best {
+			best = bound
+		}
+		// Subgradient: degree deviation from 2.
+		var norm float64
+		for i := 0; i < n; i++ {
+			d := float64(deg[i] - 2)
+			norm += d * d
+		}
+		if norm == 0 {
+			// The 1-tree is a tour: the bound is exact.
+			break
+		}
+		step := alpha * (float64(ub) - bound) / norm
+		if step <= 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			pi[i] += step * float64(deg[i]-2)
+		}
+		if (it+1)%period == 0 {
+			alpha /= 2
+		}
+	}
+	return best
+}
+
+// HeldKarpDirected computes the Held-Karp bound for an asymmetric instance
+// by bounding its 2-city symmetric transformation, exactly as the paper
+// does. The materialized symmetric matrix carries -LockCost on locked
+// edges, so its optimum is the directed optimum shifted down by
+// n*LockCost; the same shift converts the symmetric bound back into a
+// valid lower bound on the optimal directed tour cost.
+func HeldKarpDirected(m *Matrix, opt HeldKarpOptions) float64 {
+	s := Symmetrize(m)
+	symM := s.Matrix()
+	shift := float64(m.Len()) * float64(s.LockCost())
+	dirUB := opt.UpperBound
+	if dirUB <= 0 {
+		// A directed NN tour embeds into the symmetric space (shifted).
+		dirUB = CycleCost(m, NearestNeighbor(m, 0, nil))
+	}
+	symOpt := opt
+	symOpt.UpperBound = dirUB - Cost(m.Len())*s.LockCost()
+	return HeldKarpSym(symM, symOpt) + shift
+}
+
+// oneTree computes the minimum-weight 1-tree under reduced costs
+// c(i,j) + pi[i] + pi[j]: a minimum spanning tree over cities 1..n-1 plus
+// the two cheapest edges incident to city 0. deg receives the degree of
+// each city in the 1-tree. The returned weight is in reduced costs.
+func oneTree(m *Matrix, pi []float64, deg []int) float64 {
+	n := m.Len()
+	for i := range deg {
+		deg[i] = 0
+	}
+	red := func(i, j int) float64 {
+		return float64(m.At(i, j)) + pi[i] + pi[j]
+	}
+	// Prim over cities 1..n-1.
+	const unreached = math.MaxFloat64
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = unreached
+		parent[i] = -1
+	}
+	total := 0.0
+	cur := 1
+	inTree[cur] = true
+	for count := 1; count < n-1; count++ {
+		for j := 2; j < n; j++ {
+			if inTree[j] {
+				continue
+			}
+			if d := red(cur, j); d < dist[j] {
+				dist[j] = d
+				parent[j] = cur
+			}
+		}
+		nxt, nd := -1, unreached
+		for j := 2; j < n; j++ {
+			if !inTree[j] && dist[j] < nd {
+				nxt, nd = j, dist[j]
+			}
+		}
+		if nxt < 0 {
+			break
+		}
+		inTree[nxt] = true
+		total += nd
+		deg[nxt]++
+		deg[parent[nxt]]++
+		cur = nxt
+	}
+	// Two cheapest edges from city 0.
+	best1, best2 := unreached, unreached
+	arg1, arg2 := -1, -1
+	for j := 1; j < n; j++ {
+		d := red(0, j)
+		switch {
+		case d < best1:
+			best2, arg2 = best1, arg1
+			best1, arg1 = d, j
+		case d < best2:
+			best2, arg2 = d, j
+		}
+	}
+	total += best1 + best2
+	deg[0] += 2
+	deg[arg1]++
+	deg[arg2]++
+	return total
+}

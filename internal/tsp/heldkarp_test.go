@@ -1,0 +1,82 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeldKarpSymNeverExceedsOptimum(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		m := randSymMatrix(9, 200, seed)
+		_, opt := SolveExact(m)
+		bound := HeldKarpSym(m, HeldKarpOptions{UpperBound: opt})
+		if bound > float64(opt)+1e-6 {
+			t.Fatalf("seed %d: HK bound %.3f exceeds optimum %d", seed, bound, opt)
+		}
+	}
+}
+
+func TestHeldKarpSymTightOnRing(t *testing.T) {
+	// A cheap symmetric ring in an expensive clique: the optimal tour is
+	// the ring and the 1-tree relaxation is exact there.
+	n := 10
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, 100)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		m.Set(i, j, 1)
+		m.Set(j, i, 1)
+	}
+	bound := HeldKarpSym(m, HeldKarpOptions{})
+	if math.Abs(bound-float64(n)) > 1e-6 {
+		t.Fatalf("HK bound on ring = %.6f, want %d", bound, n)
+	}
+}
+
+func TestHeldKarpSymReasonablyTightOnRandomMetric(t *testing.T) {
+	// On random symmetric instances the HK bound should be within a modest
+	// factor of the optimum (empirically within a few percent; we assert a
+	// loose 20% to keep the test robust).
+	for seed := int64(0); seed < 4; seed++ {
+		m := randSymMatrix(10, 500, seed+50)
+		_, opt := SolveExact(m)
+		bound := HeldKarpSym(m, HeldKarpOptions{UpperBound: opt})
+		if bound < 0.8*float64(opt) {
+			t.Errorf("seed %d: HK bound %.1f is below 80%% of optimum %d", seed, bound, opt)
+		}
+	}
+}
+
+func TestHeldKarpDirectedBoundsDTSPOptimum(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m := randMatrix(8, 300, seed+70)
+		_, opt := SolveExact(m)
+		bound := HeldKarpDirected(m, HeldKarpOptions{UpperBound: opt})
+		if bound > float64(opt)+1e-6 {
+			t.Fatalf("seed %d: directed HK bound %.3f exceeds optimum %d", seed, bound, opt)
+		}
+	}
+}
+
+func TestHeldKarpSymPanicsOnAsymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HeldKarpSym should reject asymmetric matrices")
+		}
+	}()
+	m := randMatrix(5, 100, 1)
+	HeldKarpSym(m, HeldKarpOptions{})
+}
+
+func TestHeldKarpTinyInstances(t *testing.T) {
+	m := FromRows([][]Cost{{0, 2}, {2, 0}})
+	if got := HeldKarpSym(m, HeldKarpOptions{}); got != 4 {
+		t.Fatalf("2-city HK = %v, want 4", got)
+	}
+}

@@ -1,0 +1,180 @@
+package tsp
+
+import "math/rand"
+
+// DoubleBridge applies the classic 4-opt double-bridge kick to tour t and
+// returns a new tour. The tour is cut into four consecutive segments
+// A B C D and reassembled as A C B D. The move is reversal-free, so it is
+// feasible on the locked symmetric transformation (it corresponds to the
+// "randomly-chosen 4-Opt move" of Martin, Otto and Felten used by the
+// paper's solver). Tours with fewer than 4 cities are returned unchanged.
+func DoubleBridge(t Tour, rng *rand.Rand) Tour {
+	n := len(t)
+	out := t.Clone()
+	if n < 4 {
+		return out
+	}
+	// Pick 1 <= p1 < p2 < p3 < n.
+	p1 := 1 + rng.Intn(n-3)
+	p2 := p1 + 1 + rng.Intn(n-p1-2)
+	p3 := p2 + 1 + rng.Intn(n-p2-1)
+	out = out[:0]
+	out = append(out, t[:p1]...)
+	out = append(out, t[p2:p3]...)
+	out = append(out, t[p1:p2]...)
+	out = append(out, t[p3:]...)
+	return out
+}
+
+// IteratedThreeOpt runs Martin-Otto-Felten iterated local search: optimize
+// the start tour to a 3-opt local optimum, then repeatedly kick with a
+// double bridge, re-optimize, and keep the better of the incumbent and the
+// kicked solution. It performs iters kick-and-reoptimize rounds and
+// returns the best tour found with its cost.
+func IteratedThreeOpt(m *Matrix, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
+	if nb == nil {
+		nb = BuildNeighbors(m, DefaultNeighborCount, m.Forbid())
+	}
+	o := NewThreeOpt(m, nb, start)
+	o.Optimize()
+	cur := o.Tour()
+	curCost := o.Cost()
+	best := cur.Clone()
+	bestCost := curCost
+	for i := 0; i < iters; i++ {
+		kicked := DoubleBridge(cur, rng)
+		o.SetTour(kicked)
+		o.Optimize()
+		if o.Cost() <= curCost {
+			cur = o.Tour()
+			curCost = o.Cost()
+			if curCost < bestCost {
+				best = cur.Clone()
+				bestCost = curCost
+			}
+		}
+	}
+	return best, bestCost
+}
+
+// SolveOptions configures Solve.
+type SolveOptions struct {
+	// GreedyStarts, NNStarts and IdentityStarts set the number of runs
+	// seeded with randomized greedy-edge construction, randomized
+	// nearest-neighbor construction, and the identity (compiler) order.
+	// The paper's protocol is 5 greedy, 4 nearest-neighbor and 1 identity.
+	GreedyStarts   int
+	NNStarts       int
+	IdentityStarts int
+	// PatchingStarts adds runs seeded with the assignment-patching tour
+	// (Karp). Not part of the paper's protocol (it used greedy, NN and
+	// compiler-order starts only), but a cheap production improvement:
+	// with one patching start the solver never returns a tour worse than
+	// SolvePatching's.
+	PatchingStarts int
+	// IterationsFactor: each run performs IterationsFactor*N kick rounds
+	// (the paper uses 2N). Values <= 0 default to 2.
+	IterationsFactor int
+	// MaxIterations caps the kick rounds per run when > 0.
+	MaxIterations int
+	// NeighborK is the candidate-list width (<= 0 means default).
+	NeighborK int
+	// ExactThreshold: instances with at most this many cities are solved
+	// exactly by dynamic programming instead of local search. <= 0
+	// disables exact solving.
+	ExactThreshold int
+	// Seed seeds the deterministic random stream.
+	Seed int64
+}
+
+// PaperSolveOptions returns the solver protocol used in the paper:
+// 10 iterated-3-Opt runs per instance (5 randomized greedy starts, 4
+// randomized nearest-neighbor starts, 1 compiler-order start), 2N kick
+// iterations per run, plus exact DP for tiny instances (a production
+// shortcut the paper's AT&T code did not need).
+func PaperSolveOptions(seed int64) SolveOptions {
+	return SolveOptions{
+		GreedyStarts:     5,
+		NNStarts:         4,
+		IdentityStarts:   1,
+		IterationsFactor: 2,
+		NeighborK:        DefaultNeighborCount,
+		ExactThreshold:   12,
+		Seed:             seed,
+	}
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	Tour Tour
+	Cost Cost
+	// Exact is true when the instance was solved by exact DP, so Cost is
+	// provably optimal.
+	Exact bool
+	// RunsAtBest counts how many of the local-search runs ended at the
+	// returned cost (the appendix of the paper reports how often all 10
+	// runs tie).
+	RunsAtBest int
+	// Runs is the number of local-search runs performed.
+	Runs int
+}
+
+// Solve finds a low-cost directed Hamiltonian cycle for m using the
+// configured multi-start iterated 3-opt protocol (or exact DP for small
+// instances).
+func Solve(m *Matrix, opt SolveOptions) Result {
+	n := m.Len()
+	if opt.ExactThreshold > 0 && n <= opt.ExactThreshold {
+		t, c := SolveExact(m)
+		return Result{Tour: t, Cost: c, Exact: true, RunsAtBest: 1, Runs: 1}
+	}
+	factor := opt.IterationsFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	iters := factor * n
+	if opt.MaxIterations > 0 && iters > opt.MaxIterations {
+		iters = opt.MaxIterations
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	nb := BuildNeighbors(m, opt.NeighborK, m.Forbid())
+
+	var res Result
+	consider := func(t Tour, c Cost) {
+		res.Runs++
+		switch {
+		case res.Tour == nil || c < res.Cost:
+			res.Tour = t
+			res.Cost = c
+			res.RunsAtBest = 1
+		case c == res.Cost:
+			res.RunsAtBest++
+		}
+	}
+	for i := 0; i < opt.GreedyStarts; i++ {
+		start := GreedyEdge(m, rng)
+		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
+		consider(t, c)
+	}
+	for i := 0; i < opt.NNStarts; i++ {
+		start := NearestNeighbor(m, rng.Intn(n), rng)
+		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
+		consider(t, c)
+	}
+	for i := 0; i < opt.IdentityStarts; i++ {
+		t, c := IteratedThreeOpt(m, nb, IdentityTour(n), iters, rng)
+		consider(t, c)
+	}
+	for i := 0; i < opt.PatchingStarts; i++ {
+		start, _ := SolvePatching(m)
+		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
+		consider(t, c)
+	}
+	if res.Tour == nil {
+		res.Tour = IdentityTour(n)
+		res.Cost = CycleCost(m, res.Tour)
+		res.Runs = 1
+		res.RunsAtBest = 1
+	}
+	return res
+}

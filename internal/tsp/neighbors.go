@@ -1,0 +1,72 @@
+package tsp
+
+import "sort"
+
+// Neighbors holds, for every city, candidate lists of the cheapest
+// outgoing and incoming directed edges. Local search only considers moves
+// whose newly added edges come from these lists, which is the standard
+// Johnson-McGeoch neighbor-list pruning.
+type Neighbors struct {
+	// Out[i] lists cities j in increasing order of cost(i->j).
+	Out [][]int
+	// In[j] lists cities i in increasing order of cost(i->j).
+	In [][]int
+}
+
+// DefaultNeighborCount is the candidate-list width used when callers pass
+// k <= 0 to BuildNeighbors.
+const DefaultNeighborCount = 12
+
+// BuildNeighbors computes the k cheapest outgoing and incoming neighbors
+// of every city, skipping edges whose cost is at least forbid (pass the
+// value of m.Forbid(), or a negative number to keep every edge).
+func BuildNeighbors(m *Matrix, k int, forbid Cost) *Neighbors {
+	n := m.Len()
+	if k <= 0 {
+		k = DefaultNeighborCount
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	nb := &Neighbors{
+		Out: make([][]int, n),
+		In:  make([][]int, n),
+	}
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if forbid >= 0 && m.At(i, j) >= forbid {
+				continue
+			}
+			idx = append(idx, j)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return m.At(i, idx[a]) < m.At(i, idx[b]) })
+		take := k
+		if take > len(idx) {
+			take = len(idx)
+		}
+		nb.Out[i] = append([]int(nil), idx[:take]...)
+
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if forbid >= 0 && m.At(j, i) >= forbid {
+				continue
+			}
+			idx = append(idx, j)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return m.At(idx[a], i) < m.At(idx[b], i) })
+		take = k
+		if take > len(idx) {
+			take = len(idx)
+		}
+		nb.In[i] = append([]int(nil), idx[:take]...)
+	}
+	return nb
+}

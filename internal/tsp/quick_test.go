@@ -1,0 +1,96 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over randomly generated instances, per the
+// invariants listed in DESIGN.md.
+
+func TestQuickThreeOptProducesValidToursAndNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(nRaw, seedRaw uint16) bool {
+		n := int(nRaw%18) + 3
+		m := randMatrix(n, 1000, int64(seedRaw))
+		start := IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { start[i], start[j] = start[j], start[i] })
+		before := CycleCost(m, start)
+		o := NewThreeOpt(m, nil, start)
+		after := o.Optimize()
+		return o.Tour().Valid(n) && after <= before && CycleCost(m, o.Tour()) == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymEmbeddingPreservesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := func(nRaw, seedRaw uint16) bool {
+		n := int(nRaw%12) + 2
+		m := randMatrix(n, 500, int64(seedRaw)+1)
+		s := Symmetrize(m)
+		dir := IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { dir[i], dir[j] = dir[j], dir[i] })
+		emb := s.FromDirected(dir)
+		if SymCycleCost(s, emb) != CycleCost(m, dir) {
+			return false
+		}
+		back, err := s.ToDirected(emb)
+		if err != nil {
+			return false
+		}
+		back.RotateTo(dir[0])
+		for i := range dir {
+			if back[i] != dir[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBoundSandwich(t *testing.T) {
+	// AP <= optimum and HK <= optimum <= iterated-3-opt tour, on instances
+	// small enough to solve exactly.
+	f := func(seedRaw uint16) bool {
+		n := 7
+		m := randMatrix(n, 300, int64(seedRaw)+7)
+		_, opt := SolveExact(m)
+		if AssignmentBound(m) > opt {
+			return false
+		}
+		if HeldKarpDirected(m, HeldKarpOptions{UpperBound: opt, Iterations: 120}) > float64(opt)+1e-6 {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		_, heur := IteratedThreeOpt(m, nil, GreedyEdge(m, nil), 2*n, rng)
+		return heur >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConstructionsAreValid(t *testing.T) {
+	f := func(nRaw, seedRaw uint16) bool {
+		n := int(nRaw%25) + 1
+		m := randMatrix(n, 1000, int64(seedRaw)+3)
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		if !NearestNeighbor(m, rng.Intn(n), rng).Valid(n) {
+			return false
+		}
+		if !GreedyEdge(m, rng).Valid(n) {
+			return false
+		}
+		return NearestNeighbor(m, 0, nil).Valid(n) && GreedyEdge(m, nil).Valid(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

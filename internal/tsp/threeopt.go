@@ -1,0 +1,191 @@
+package tsp
+
+// ThreeOpt is a directed, reversal-free 3-opt local search.
+//
+// The paper solves the branch-alignment DTSP by transforming it to a
+// symmetric TSP (each city i becomes an in-node and an out-node joined by
+// a locked zero-cost edge; see Sym) and running iterated 3-Opt with the
+// locks respected. On that transformed instance, 2-opt moves are never
+// feasible (both reconnecting edges would join two in-nodes and two
+// out-nodes), and the only feasible 3-opt moves are exactly the directed
+// segment-exchange moves implemented here: remove three directed edges
+// (a->b), (c->d), (e->f) that appear in this cyclic order and reconnect as
+// (a->d), (e->b), (c->f), turning the cycle
+//
+//	a b..c d..e f..a   into   a d..e b..c f..a
+//
+// No segment is ever reversed, so arc costs never need to be re-read in
+// the opposite direction. Working directly in the directed space is
+// equivalent to, and considerably simpler than, manipulating the 2n-city
+// symmetric tour; TestThreeOptMatchesSymmetricModel verifies the
+// equivalence.
+//
+// The search uses sorted candidate neighbor lists and don't-look bits
+// (Johnson-McGeoch style) and applies first-improvement moves.
+type ThreeOpt struct {
+	m   *Matrix
+	nb  *Neighbors
+	n   int
+	t   Tour
+	pos []int
+	c   Cost
+
+	dontLook []bool
+	queue    []int
+	inQueue  []bool
+	scratch  []int
+}
+
+// NewThreeOpt creates a local search over matrix m with candidate lists nb
+// (pass nil to build default lists) starting from tour t. The tour is
+// copied.
+func NewThreeOpt(m *Matrix, nb *Neighbors, t Tour) *ThreeOpt {
+	if nb == nil {
+		nb = BuildNeighbors(m, DefaultNeighborCount, m.Forbid())
+	}
+	n := m.Len()
+	o := &ThreeOpt{
+		m:        m,
+		nb:       nb,
+		n:        n,
+		pos:      make([]int, n),
+		dontLook: make([]bool, n),
+		inQueue:  make([]bool, n),
+		scratch:  make([]int, n),
+	}
+	o.SetTour(t)
+	return o
+}
+
+// SetTour replaces the current tour (copying it) and resets search state.
+func (o *ThreeOpt) SetTour(t Tour) {
+	if !t.Valid(o.n) {
+		panic("tsp: ThreeOpt.SetTour: invalid tour")
+	}
+	o.t = t.Clone()
+	for i, city := range o.t {
+		o.pos[city] = i
+	}
+	o.c = CycleCost(o.m, o.t)
+	o.queue = o.queue[:0]
+	for i := 0; i < o.n; i++ {
+		o.dontLook[i] = false
+		o.inQueue[i] = true
+		o.queue = append(o.queue, i)
+	}
+}
+
+// Tour returns a copy of the current tour.
+func (o *ThreeOpt) Tour() Tour { return o.t.Clone() }
+
+// Cost returns the (incrementally maintained) cost of the current tour.
+func (o *ThreeOpt) Cost() Cost { return o.c }
+
+func (o *ThreeOpt) succ(x int) int { return o.t[(o.pos[x]+1)%o.n] }
+func (o *ThreeOpt) pred(x int) int { return o.t[(o.pos[x]-1+o.n)%o.n] }
+
+// np returns the position of x relative to (and excluding) anchor a:
+// np(succ(a)) == 0, np(pred(a)) == n-2, np(a) == n-1.
+func (o *ThreeOpt) np(a, x int) int {
+	return (o.pos[x] - o.pos[a] - 1 + o.n) % o.n
+}
+
+// Optimize runs the search to a local optimum and returns the final cost.
+func (o *ThreeOpt) Optimize() Cost {
+	if o.n < 3 {
+		return o.c
+	}
+	for len(o.queue) > 0 {
+		a := o.queue[len(o.queue)-1]
+		o.queue = o.queue[:len(o.queue)-1]
+		o.inQueue[a] = false
+		if o.dontLook[a] {
+			continue
+		}
+		if !o.improveFrom(a) {
+			o.dontLook[a] = true
+		} else if !o.inQueue[a] {
+			// Re-examine a after a successful move from it.
+			o.inQueue[a] = true
+			o.queue = append(o.queue, a)
+		}
+	}
+	return o.c
+}
+
+// improveFrom searches for an improving segment-exchange move whose first
+// removed edge is (a, succ(a)); it applies the first one found.
+func (o *ThreeOpt) improveFrom(a int) bool {
+	b := o.succ(a)
+	gainBase := o.m.At(a, b)
+	for _, d := range o.nb.Out[a] {
+		g1 := gainBase - o.m.At(a, d)
+		if g1 <= 0 {
+			break // neighbor lists are sorted by cost
+		}
+		npD := o.np(a, d)
+		if npD < 1 || npD > o.n-2 {
+			continue // d must lie strictly between b and a
+		}
+		c := o.pred(d)
+		g2 := g1 + o.m.At(c, d)
+		for _, e := range o.nb.In[b] {
+			g3 := g2 - o.m.At(e, b)
+			if g3 <= 0 {
+				break
+			}
+			npE := o.np(a, e)
+			if npE < npD || npE > o.n-2 {
+				continue // e must lie in segment d..pred(a)
+			}
+			f := o.succ(e)
+			total := g3 + o.m.At(e, f) - o.m.At(c, f)
+			if total <= 0 {
+				continue
+			}
+			o.apply(a, npD, npE, total)
+			o.wake(a, b, c, d, e, f)
+			return true
+		}
+	}
+	return false
+}
+
+// apply performs the segment exchange anchored at a with the second
+// segment spanning relative positions [npD, npE], and decreases the cached
+// cost by gain.
+func (o *ThreeOpt) apply(a, npD, npE int, gain Cost) {
+	pa := o.pos[a]
+	n := o.n
+	k := 0
+	o.scratch[k] = a
+	k++
+	for i := npD; i <= npE; i++ {
+		o.scratch[k] = o.t[(pa+1+i)%n]
+		k++
+	}
+	for i := 0; i < npD; i++ {
+		o.scratch[k] = o.t[(pa+1+i)%n]
+		k++
+	}
+	for i := npE + 1; i <= n-2; i++ {
+		o.scratch[k] = o.t[(pa+1+i)%n]
+		k++
+	}
+	copy(o.t, o.scratch[:n])
+	for i, city := range o.t {
+		o.pos[city] = i
+	}
+	o.c -= gain
+}
+
+// wake clears don't-look bits for the endpoints touched by a move.
+func (o *ThreeOpt) wake(cities ...int) {
+	for _, c := range cities {
+		o.dontLook[c] = false
+		if !o.inQueue[c] {
+			o.inQueue[c] = true
+			o.queue = append(o.queue, c)
+		}
+	}
+}
