@@ -1,0 +1,39 @@
+# Tier-1 gate for the branchalign repository. `make ci` (or
+# `scripts/ci.sh`) is the check every change must keep green:
+# formatting, go vet, a full build, and the test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race vet-benchmarks bench clean
+
+ci: fmt vet build race vet-benchmarks
+
+# gofmt -l prints offending files; fail if any.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the pipeline-wide invariant checker over every bundled benchmark.
+vet-benchmarks:
+	$(GO) run ./cmd/balign vet -all
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,12 @@
 //	balign -src prog.mc -bench compress -dataset txt   (use a built-in benchmark instead)
 //	balign -bench xli -dataset q7 -aligner all -sim
 //
+// The `vet` subcommand runs the pipeline-wide invariant checker
+// (internal/check) instead of the experiment driver:
+//
+//	balign vet -bench compress
+//	balign vet -all -v
+//
 // The entry function must be main with signature (), (n) or (input[], n).
 package main
 
@@ -33,6 +39,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	var (
 		srcPath   = flag.String("src", "", "Mini-C source file to align")
 		data      = flag.String("data", "", "comma-separated ints for the entry array input")

@@ -26,24 +26,7 @@ type Dominators struct {
 // Algorithm").
 func ComputeDominators(f *ir.Func) *Dominators {
 	n := len(f.Blocks)
-	// Reverse postorder.
-	visited := make([]bool, n)
-	post := make([]int, 0, n)
-	var dfs func(int)
-	dfs = func(b int) {
-		visited[b] = true
-		for _, s := range f.Blocks[b].Term.Succs {
-			if !visited[s] {
-				dfs(s)
-			}
-		}
-		post = append(post, b)
-	}
-	dfs(0)
-	rpo := make([]int, len(post))
-	for i := range post {
-		rpo[i] = post[len(post)-1-i]
-	}
+	rpo := reversePostorder(f)
 	rpoNum := make([]int, n)
 	for i := range rpoNum {
 		rpoNum[i] = -1
@@ -93,6 +76,64 @@ func ComputeDominators(f *ir.Func) *Dominators {
 		}
 	}
 	return &Dominators{IDom: idom, rpo: rpo}
+}
+
+// ReversePostorder returns the reverse-postorder numbering of f's
+// reachable blocks starting from the entry. It is the canonical iteration
+// order for forward dataflow analyses (package check builds on it);
+// unreachable blocks do not appear.
+func ReversePostorder(f *ir.Func) []int {
+	return reversePostorder(f)
+}
+
+// ReversePostorder returns the reverse-postorder block sequence the
+// dominator computation used (a copy; reachable blocks only).
+func (d *Dominators) ReversePostorder() []int {
+	return append([]int(nil), d.rpo...)
+}
+
+// reversePostorder runs an explicit-stack depth-first search from the
+// entry and returns the reverse postorder. The iterative formulation
+// keeps a (block, next-successor-index) frame per stack entry, so CFGs of
+// any depth — e.g. the pathological straight-line chains large lowered
+// functions produce — cannot overflow the goroutine stack the way the
+// previous recursive DFS could.
+func reversePostorder(f *ir.Func) []int {
+	n := len(f.Blocks)
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	type frame struct {
+		block int
+		next  int // index into Succs of the next edge to explore
+	}
+	stack := make([]frame, 0, 16)
+	visited[0] = true
+	stack = append(stack, frame{block: 0})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succs := f.Blocks[top.block].Term.Succs
+		advanced := false
+		for top.next < len(succs) {
+			s := succs[top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{block: s})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		post = append(post, top.block)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i := range post {
+		rpo[i] = post[len(post)-1-i]
+	}
+	return rpo
 }
 
 // Dominates reports whether block a dominates block b (every block

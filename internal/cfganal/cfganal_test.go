@@ -195,3 +195,57 @@ func TestHotBlocksAreDeep(t *testing.T) {
 		}
 	}
 }
+
+// chainFunc builds a straight-line CFG of n blocks: b0 -> b1 -> ... ->
+// b(n-1) -> ret. Deep enough chains overflowed the goroutine stack when
+// the DFS inside ComputeDominators was recursive.
+func chainFunc(n int) *ir.Func {
+	f := &ir.Func{Name: "chain", NumRegs: 1}
+	for i := 0; i < n; i++ {
+		term := ir.Terminator{Kind: ir.TermBr, Succs: []int{i + 1}}
+		if i == n-1 {
+			term = ir.Terminator{Kind: ir.TermRet, Val: ir.ConstVal(0)}
+		}
+		f.Blocks = append(f.Blocks, &ir.Block{ID: i, Term: term})
+	}
+	return f
+}
+
+func TestDominatorsDeepChain(t *testing.T) {
+	// 500k blocks: a recursive DFS would need ~500k stack frames, well
+	// past any fixed recursion budget; the explicit-stack version is fine
+	// (and linear).
+	const n = 500_000
+	f := chainFunc(n)
+	dom := cfganal.ComputeDominators(f)
+	if dom.IDom[n-1] != n-2 {
+		t.Fatalf("IDom[last] = %d, want %d", dom.IDom[n-1], n-2)
+	}
+	rpo := cfganal.ReversePostorder(f)
+	if len(rpo) != n || rpo[0] != 0 || rpo[n-1] != n-1 {
+		t.Fatalf("unexpected reverse postorder shape: len=%d first=%d last=%d", len(rpo), rpo[0], rpo[n-1])
+	}
+}
+
+func TestReversePostorderMatchesDominatorOrder(t *testing.T) {
+	mod := compile(t, `func main(x) { var y = 0; while (x > 0) { if (x % 2) { y = y + 1; } x = x - 1; } return y; }`)
+	f := mod.Funcs[0]
+	dom := cfganal.ComputeDominators(f)
+	a, b := cfganal.ReversePostorder(f), dom.ReversePostorder()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Every predecessor of a block outside a loop appears before it.
+	pos := make(map[int]int)
+	for i, blk := range a {
+		pos[blk] = i
+	}
+	if pos[0] != 0 {
+		t.Fatalf("entry not first in RPO: %v", a)
+	}
+}

@@ -1,0 +1,33 @@
+package check
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+)
+
+// Options selects which checker families a composite run executes.
+type Options struct {
+	// Bounds enables the bound-consistency chain (the expensive family:
+	// it solves an assignment problem and runs Held-Karp subgradient
+	// ascent per function).
+	Bounds bool
+	// BoundsOptions tunes the bound checks when enabled.
+	BoundsOptions BoundsOptions
+}
+
+// All audits a full pipeline artifact set — the compiled module, the
+// training profile, and a layout — with every applicable checker family:
+// IR structure and dataflow lints, profile flow conservation, layout
+// permutation validity, patch equivalence, placement and cost
+// bookkeeping, and (optionally) the lower-bound chain.
+func All(mod *ir.Module, prof *interp.Profile, l *layout.Layout, m machine.Model, opts Options) *Report {
+	r := Module(mod)
+	r.Merge(Flow(mod, prof))
+	r.Merge(Layouts(mod, prof, l, m))
+	if opts.Bounds {
+		r.Merge(Bounds(mod, prof, l, m, opts.BoundsOptions))
+	}
+	return r
+}

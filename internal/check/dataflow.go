@@ -1,0 +1,285 @@
+package check
+
+import (
+	"branchalign/internal/cfganal"
+	"branchalign/internal/ir"
+)
+
+// Module runs the static IR checks: the structural verifier
+// (ir.Module.Verify) as an error-class check, then the dataflow lints —
+// unreachable blocks (via the cfganal dominator computation: a non-entry
+// block with no immediate dominator is unreachable), use-before-def
+// registers (a forward must-defined analysis iterated in reverse
+// postorder), and dead stores (a backward liveness analysis).
+//
+// The lints are warnings, not errors: IR registers are zero-initialized
+// mutable slots, so a use-before-def reads 0 rather than trapping, and
+// unreachable blocks or dead stores waste space without changing
+// behavior. They still matter — each one is a front-end or optimizer
+// smell, and the fuzzer uses them to hunt lowering regressions.
+func Module(mod *ir.Module) *Report {
+	r := &Report{}
+	if err := mod.Verify(); err != nil {
+		r.add(Error, ClassStructure, "", -1, "%v", err)
+		return r // dataflow below assumes a structurally sound module
+	}
+	for _, f := range mod.Funcs {
+		checkFuncDataflow(r, f)
+	}
+	return r
+}
+
+func checkFuncDataflow(r *Report, f *ir.Func) {
+	dom := cfganal.ComputeDominators(f)
+	reachable := make([]bool, len(f.Blocks))
+	for b := range f.Blocks {
+		reachable[b] = b == 0 || dom.IDom[b] != -1
+		if !reachable[b] {
+			r.add(Warning, ClassUnreachable, f.Name, b, "block is unreachable from the entry")
+		}
+	}
+	rpo := dom.ReversePostorder()
+	useBeforeDef(r, f, rpo, reachable)
+	deadStores(r, f, rpo, reachable)
+}
+
+// valueUses appends the register (if any) a Value reads.
+func valueUses(regs []ir.Reg, v ir.Value) []ir.Reg {
+	if !v.IsConst {
+		regs = append(regs, v.Reg)
+	}
+	return regs
+}
+
+// instrUses returns the registers an instruction reads.
+func instrUses(in *ir.Instr) []ir.Reg {
+	var regs []ir.Reg
+	switch in.Kind {
+	case ir.InstrConst, ir.InstrGLoad:
+		// no register operands
+	case ir.InstrMove, ir.InstrUn, ir.InstrLoad, ir.InstrGStore, ir.InstrOut:
+		regs = valueUses(regs, in.A)
+	case ir.InstrBin:
+		regs = valueUses(regs, in.A)
+		regs = valueUses(regs, in.B)
+	case ir.InstrStore:
+		regs = valueUses(regs, in.A)
+		regs = valueUses(regs, in.B)
+	case ir.InstrCall:
+		for _, a := range in.Args {
+			if !a.IsArray {
+				regs = valueUses(regs, a.Val)
+			}
+		}
+	}
+	return regs
+}
+
+// instrDef returns the register an instruction defines, if any.
+func instrDef(in *ir.Instr) (ir.Reg, bool) {
+	switch in.Kind {
+	case ir.InstrConst, ir.InstrMove, ir.InstrBin, ir.InstrUn, ir.InstrLoad, ir.InstrGLoad, ir.InstrCall:
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// termUses returns the registers a terminator reads.
+func termUses(t *ir.Terminator) []ir.Reg {
+	switch t.Kind {
+	case ir.TermCondBr, ir.TermSwitch:
+		return valueUses(nil, t.Cond)
+	case ir.TermRet:
+		return valueUses(nil, t.Val)
+	}
+	return nil
+}
+
+// pureInstr reports whether removing the instruction cannot change
+// observable behavior beyond its own register definition: loads can trap
+// on a bad index, division and remainder trap on zero, and calls, stores
+// and out() have effects, so none of those count as pure.
+func pureInstr(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.InstrConst, ir.InstrMove, ir.InstrUn, ir.InstrGLoad:
+		return true
+	case ir.InstrBin:
+		return in.Op != ir.OpDiv && in.Op != ir.OpRem
+	}
+	return false
+}
+
+// useBeforeDef runs a forward must-defined dataflow analysis: a register
+// is defined at a program point only if it is defined on *every* path
+// from the entry. Scalar parameters enter defined; everything else must
+// be written first. Uses of must-undefined registers are reported once
+// per (block, instruction, register).
+func useBeforeDef(r *Report, f *ir.Func, rpo []int, reachable []bool) {
+	n := len(f.Blocks)
+	nr := f.NumRegs
+	preds := f.Preds()
+
+	newSet := func(full bool) []bool {
+		s := make([]bool, nr)
+		if full {
+			for i := range s {
+				s[i] = true
+			}
+		}
+		return s
+	}
+	params := newSet(false)
+	for i := 0; i < f.NumScalarParams(); i++ {
+		params[i] = true
+	}
+
+	// out[b] starts at ⊤ (all defined) so the intersection over
+	// predecessors is optimistic until the fixpoint settles.
+	out := make([][]bool, n)
+	for b := 0; b < n; b++ {
+		out[b] = newSet(true)
+	}
+	blockIn := func(b int) []bool {
+		if b == 0 {
+			return append([]bool(nil), params...)
+		}
+		in := newSet(true)
+		any := false
+		for _, p := range preds[b] {
+			if !reachable[p] {
+				continue
+			}
+			any = true
+			for i := range in {
+				in[i] = in[i] && out[p][i]
+			}
+		}
+		if !any {
+			return append([]bool(nil), params...)
+		}
+		return in
+	}
+	transfer := func(b int, in []bool) []bool {
+		cur := append([]bool(nil), in...)
+		for i := range f.Blocks[b].Instrs {
+			if d, ok := instrDef(&f.Blocks[b].Instrs[i]); ok {
+				cur[d] = true
+			}
+		}
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			nw := transfer(b, blockIn(b))
+			for i := range nw {
+				if nw[i] != out[b][i] {
+					out[b] = nw
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Report pass: walk each reachable block with its settled in-state.
+	for _, b := range rpo {
+		cur := blockIn(b)
+		blk := f.Blocks[b]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			for _, u := range instrUses(in) {
+				if !cur[u] {
+					r.add(Warning, ClassUseBeforeDef, f.Name, b,
+						"instr %d (%s): r%d may be read before any definition reaches it", ii, in, u)
+				}
+			}
+			if d, ok := instrDef(in); ok {
+				cur[d] = true
+			}
+		}
+		for _, u := range termUses(&blk.Term) {
+			if !cur[u] {
+				r.add(Warning, ClassUseBeforeDef, f.Name, b,
+					"terminator (%s): r%d may be read before any definition reaches it", blk.Term, u)
+			}
+		}
+	}
+}
+
+// deadStores runs a backward liveness analysis and flags pure definitions
+// whose value is dead: never read before every path overwrites or
+// abandons it.
+func deadStores(r *Report, f *ir.Func, rpo []int, reachable []bool) {
+	n := len(f.Blocks)
+	nr := f.NumRegs
+
+	liveIn := make([][]bool, n)
+	for b := range liveIn {
+		liveIn[b] = make([]bool, nr)
+	}
+	blockLiveIn := func(b int, liveOut []bool) []bool {
+		live := append([]bool(nil), liveOut...)
+		blk := f.Blocks[b]
+		for _, u := range termUses(&blk.Term) {
+			live[u] = true
+		}
+		for ii := len(blk.Instrs) - 1; ii >= 0; ii-- {
+			in := &blk.Instrs[ii]
+			if d, ok := instrDef(in); ok {
+				live[d] = false
+			}
+			for _, u := range instrUses(in) {
+				live[u] = true
+			}
+		}
+		return live
+	}
+	liveOut := func(b int) []bool {
+		out := make([]bool, nr)
+		for _, s := range f.Blocks[b].Term.Succs {
+			for i, v := range liveIn[s] {
+				out[i] = out[i] || v
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := len(rpo) - 1; k >= 0; k-- {
+			b := rpo[k]
+			nw := blockLiveIn(b, liveOut(b))
+			for i := range nw {
+				if nw[i] != liveIn[b][i] {
+					liveIn[b] = nw
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, b := range rpo {
+		if !reachable[b] {
+			continue
+		}
+		blk := f.Blocks[b]
+		live := liveOut(b)
+		for _, u := range termUses(&blk.Term) {
+			live[u] = true
+		}
+		for ii := len(blk.Instrs) - 1; ii >= 0; ii-- {
+			in := &blk.Instrs[ii]
+			if d, ok := instrDef(in); ok {
+				if !live[d] && pureInstr(in) {
+					r.add(Warning, ClassDeadStore, f.Name, b,
+						"instr %d (%s): value of r%d is never read", ii, in, d)
+				}
+				live[d] = false
+			}
+			for _, u := range instrUses(in) {
+				live[u] = true
+			}
+		}
+	}
+}

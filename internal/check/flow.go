@@ -1,0 +1,124 @@
+package check
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+)
+
+// Flow checks profile flow conservation: for every block of every
+// function, executions in must equal executions out (Kirchhoff's law on
+// the weighted CFG).
+//
+// Per block b of function f:
+//
+//   - outgoing: BlockCounts[b] == Σ_si EdgeCounts[b][si] for every block
+//     with successors (a return block has none; its count is its exit
+//     count);
+//   - incoming: Σ over predecessor edges into b == BlockCounts[b] for
+//     every non-entry block; the entry block additionally absorbs one
+//     entry per invocation of f;
+//   - entry/exit slack: invocations (entry-block slack) must equal total
+//     returns, and must match the weighted call graph — for a non-entry
+//     function, Σ_c CallCounts[c][f]; the module entry function may
+//     exceed its call-graph count by the number of top-level runs.
+//
+// These identities hold exactly for profiles accumulated over complete
+// interpreter runs; an aborted run (step budget, runtime error) legally
+// breaks them, so callers should only vet profiles of successful runs.
+func Flow(mod *ir.Module, prof *interp.Profile) *Report {
+	r := &Report{}
+	if len(prof.Funcs) != len(mod.Funcs) {
+		r.add(Error, ClassFlow, "", -1, "profile shape: %d function profiles for %d functions", len(prof.Funcs), len(mod.Funcs))
+		return r
+	}
+	for fi, f := range mod.Funcs {
+		checkFuncFlow(r, mod, prof, fi, f)
+	}
+	return r
+}
+
+func checkFuncFlow(r *Report, mod *ir.Module, prof *interp.Profile, fi int, f *ir.Func) {
+	fp := prof.Funcs[fi]
+	if len(fp.BlockCounts) != len(f.Blocks) || len(fp.EdgeCounts) != len(f.Blocks) {
+		r.add(Error, ClassFlow, f.Name, -1, "profile shape: %d block counts, %d edge rows for %d blocks",
+			len(fp.BlockCounts), len(fp.EdgeCounts), len(f.Blocks))
+		return
+	}
+
+	// Incoming flow per block, from every predecessor edge.
+	in := make([]int64, len(f.Blocks))
+	for b, blk := range f.Blocks {
+		if len(fp.EdgeCounts[b]) != len(blk.Term.Succs) {
+			r.add(Error, ClassFlow, f.Name, b, "profile shape: %d edge counts for %d successors",
+				len(fp.EdgeCounts[b]), len(blk.Term.Succs))
+			return
+		}
+		for si, s := range blk.Term.Succs {
+			c := fp.EdgeCounts[b][si]
+			if c < 0 {
+				r.add(Error, ClassFlow, f.Name, b, "negative edge count %d on successor %d", c, si)
+			}
+			in[s] += c
+		}
+	}
+
+	var exits int64
+	for b, blk := range f.Blocks {
+		n := fp.BlockCounts[b]
+		if n < 0 {
+			r.add(Error, ClassFlow, f.Name, b, "negative block count %d", n)
+		}
+		if blk.Term.Kind == ir.TermRet {
+			exits += n
+			continue
+		}
+		var out int64
+		for _, c := range fp.EdgeCounts[b] {
+			out += c
+		}
+		if out != n {
+			r.add(Error, ClassFlow, f.Name, b, "outgoing flow %d != block count %d", out, n)
+		}
+	}
+
+	// Entry slack: invocations of f. Every entry beyond the incoming back
+	// edges into block 0 is one call (or top-level run) of the function.
+	entries := fp.BlockCounts[0] - in[0]
+	if entries < 0 {
+		r.add(Error, ClassFlow, f.Name, 0, "entry block count %d below incoming edge flow %d",
+			fp.BlockCounts[0], in[0])
+	}
+	for b := range f.Blocks {
+		if b == 0 {
+			continue
+		}
+		if in[b] != fp.BlockCounts[b] {
+			r.add(Error, ClassFlow, f.Name, b, "incoming flow %d != block count %d", in[b], fp.BlockCounts[b])
+		}
+	}
+
+	// Exit slack: a completed invocation leaves through exactly one
+	// return.
+	if entries >= 0 && exits != entries {
+		r.add(Error, ClassFlow, f.Name, -1, "function entered %d times but returned %d times", entries, exits)
+	}
+
+	// Call-graph consistency: entries must match dynamic calls, with
+	// top-level runs allowed only for the module entry function.
+	if len(prof.CallCounts) == len(mod.Funcs) {
+		var called int64
+		for ci := range prof.CallCounts {
+			if len(prof.CallCounts[ci]) == len(mod.Funcs) {
+				called += prof.CallCounts[ci][fi]
+			}
+		}
+		switch {
+		case fi == mod.EntryFunc:
+			if entries >= 0 && entries < called {
+				r.add(Error, ClassFlow, f.Name, -1, "entry function entered %d times but called %d times", entries, called)
+			}
+		case entries >= 0 && entries != called:
+			r.add(Error, ClassFlow, f.Name, -1, "function entered %d times but call graph records %d calls", entries, called)
+		}
+	}
+}

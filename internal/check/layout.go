@@ -1,0 +1,314 @@
+package check
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+)
+
+// EmittedBlock models the code actually emitted for one block under a
+// layout, after the transformation the paper describes ("the appropriate
+// inversions of conditional branches and insertions or deletions of
+// unconditional jumps"): which target the emitted branch jumps to,
+// whether the condition was inverted, and any fixup jump placed directly
+// after the block.
+type EmittedBlock struct {
+	ID int
+	// Ret reports that the block ends in a return.
+	Ret bool
+	// Jump is the target of a materialized unconditional jump (-1 when
+	// the block falls through or ends some other way).
+	Jump int
+	// CondTarget is the taken target of the emitted conditional branch
+	// (-1 when the block is not conditional).
+	CondTarget int
+	// CondInverted reports that the emitted branch tests the negated
+	// condition (the original fall-through successor became the taken
+	// target or vice versa).
+	CondInverted bool
+	// Fixup is the target of the fixup jump emitted immediately after the
+	// block (-1 when none). Fixups are the separate one-instruction
+	// blocks a fully displaced conditional branch needs.
+	Fixup int
+	// Table lists the emitted switch-table targets, cases first and the
+	// default last (nil for non-switch blocks).
+	Table []int
+}
+
+// EmittedFunc is the emitted (patched) form of a laid-out function.
+type EmittedFunc struct {
+	Order  []int
+	Blocks []EmittedBlock // indexed by block ID
+}
+
+// Emit derives the emitted form of f under fl. It reimplements the
+// layout-to-code rules from the terminator semantics alone, so that
+// VerifyEmitted checks the layout machinery against an independent
+// recomputation rather than against itself.
+func Emit(f *ir.Func, fl *layout.FuncLayout) *EmittedFunc {
+	em := &EmittedFunc{
+		Order:  append([]int(nil), fl.Order...),
+		Blocks: make([]EmittedBlock, len(f.Blocks)),
+	}
+	succ := fl.LayoutSuccessors(f)
+	for b, blk := range f.Blocks {
+		eb := EmittedBlock{ID: b, Jump: -1, CondTarget: -1, Fixup: -1}
+		s := succ[b]
+		switch blk.Term.Kind {
+		case ir.TermRet:
+			eb.Ret = true
+		case ir.TermBr:
+			if t := blk.Term.Succs[0]; t != s {
+				eb.Jump = t
+			}
+		case ir.TermCondBr:
+			s0, s1 := blk.Term.Succs[0], blk.Term.Succs[1]
+			switch s {
+			case s0:
+				// The then-successor falls through: branch on the negated
+				// condition to the else-successor.
+				eb.CondTarget, eb.CondInverted = s1, true
+			case s1:
+				// The else-successor falls through: the branch keeps its
+				// original sense.
+				eb.CondTarget = s0
+			default:
+				// Fully displaced: one successor is the taken target, the
+				// other sits behind the fixup jump, per the layout's
+				// arrangement decision.
+				p := fl.Pred[b]
+				taken, fixed := blk.Term.Succs[p], blk.Term.Succs[1-p]
+				if !fl.FixupTaken[b] {
+					taken, fixed = fixed, taken
+				}
+				eb.CondTarget, eb.Fixup = taken, fixed
+				eb.CondInverted = taken != s0
+			}
+		case ir.TermSwitch:
+			eb.Table = append([]int(nil), blk.Term.Succs...)
+		}
+		em.Blocks[b] = eb
+	}
+	return em
+}
+
+// VerifyEmitted checks that an emitted form preserves the CFG semantics
+// of f: recovering each block's successors from the emitted branches
+// (undoing any condition inversion) must reproduce the original edge list
+// exactly, every fall-through must reach either the block's layout
+// successor or its fixup slot, and no block may fall off the end of the
+// function. Emit followed by VerifyEmitted is the round-trip equivalence
+// check; feeding a hand-corrupted EmittedFunc seeds ClassPatch findings.
+func VerifyEmitted(f *ir.Func, fl *layout.FuncLayout, em *EmittedFunc) *Report {
+	r := &Report{}
+	n := len(f.Blocks)
+	if len(em.Order) != n || len(em.Blocks) != n {
+		r.add(Error, ClassPatch, f.Name, -1, "emitted form has %d blocks in order, %d bodies for %d blocks",
+			len(em.Order), len(em.Blocks), n)
+		return r
+	}
+	for i, b := range em.Order {
+		if b != fl.Order[i] {
+			r.add(Error, ClassPatch, f.Name, b, "emitted order diverges from layout at position %d (%d vs %d)",
+				i, b, fl.Order[i])
+			return r
+		}
+	}
+	for k, b := range em.Order {
+		blk := f.Blocks[b]
+		eb := em.Blocks[b]
+		next := -1
+		if k+1 < len(em.Order) {
+			next = em.Order[k+1]
+		}
+		if eb.ID != b {
+			r.add(Error, ClassPatch, f.Name, b, "emitted block carries ID %d", eb.ID)
+			continue
+		}
+		switch blk.Term.Kind {
+		case ir.TermRet:
+			if !eb.Ret || eb.Jump >= 0 || eb.CondTarget >= 0 || eb.Fixup >= 0 || eb.Table != nil {
+				r.add(Error, ClassPatch, f.Name, b, "return block emitted with control transfers")
+			}
+		case ir.TermBr:
+			want := blk.Term.Succs[0]
+			got := eb.Jump
+			if got < 0 {
+				got = next // falls through
+			}
+			if got != want {
+				r.add(Error, ClassPatch, f.Name, b, "unconditional edge retargeted: emitted reaches b%d, CFG says b%d", got, want)
+			}
+			if eb.Jump < 0 && next < 0 {
+				r.add(Error, ClassPatch, f.Name, b, "last block falls off the end of the function")
+			}
+		case ir.TermCondBr:
+			s0, s1 := blk.Term.Succs[0], blk.Term.Succs[1]
+			if eb.CondTarget < 0 {
+				r.add(Error, ClassPatch, f.Name, b, "conditional block emitted without a branch")
+				continue
+			}
+			// Where does the not-taken path end up?
+			fallTarget := eb.Fixup
+			if fallTarget < 0 {
+				fallTarget = next
+				if next < 0 {
+					r.add(Error, ClassPatch, f.Name, b, "conditional last block falls off the end of the function")
+					continue
+				}
+				if next != s0 && next != s1 {
+					r.add(Error, ClassPatch, f.Name, b,
+						"fall-through reaches b%d, which is not a successor (want b%d or b%d)", next, s0, s1)
+					continue
+				}
+			}
+			// Undo the inversion to recover the original (then, else).
+			then, els := eb.CondTarget, fallTarget
+			if eb.CondInverted {
+				then, els = fallTarget, eb.CondTarget
+			}
+			if then != s0 || els != s1 {
+				r.add(Error, ClassPatch, f.Name, b,
+					"conditional edges changed: emitted (then b%d, else b%d), CFG (then b%d, else b%d)", then, els, s0, s1)
+			}
+		case ir.TermSwitch:
+			if len(eb.Table) != len(blk.Term.Succs) {
+				r.add(Error, ClassPatch, f.Name, b, "switch table has %d targets, CFG has %d",
+					len(eb.Table), len(blk.Term.Succs))
+				continue
+			}
+			for si, t := range eb.Table {
+				if t != blk.Term.Succs[si] {
+					r.add(Error, ClassPatch, f.Name, b, "switch target %d retargeted: emitted b%d, CFG b%d",
+						si, t, blk.Term.Succs[si])
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Placement checks the instruction-address bookkeeping of a placed
+// function against an independent recomputation: blocks must occupy
+// contiguous, non-overlapping address ranges in layout order, displaced
+// unconditional terminators must be accounted as one jump slot, and a
+// fixup slot must exist exactly for fully displaced conditional branches,
+// directly after its block.
+func Placement(f *ir.Func, fl *layout.FuncLayout, pf *layout.PlacedFunc) *Report {
+	r := &Report{}
+	n := len(f.Blocks)
+	if len(pf.Addr) != n || len(pf.Size) != n || len(pf.FixupAddr) != n {
+		r.add(Error, ClassPlacement, f.Name, -1, "placement tables sized %d/%d/%d for %d blocks",
+			len(pf.Addr), len(pf.Size), len(pf.FixupAddr), n)
+		return r
+	}
+	succ := fl.LayoutSuccessors(f)
+	cur := pf.Base
+	for _, b := range fl.Order {
+		blk := f.Blocks[b]
+		size := int64(len(blk.Instrs))
+		fixup := false
+		switch blk.Term.Kind {
+		case ir.TermRet, ir.TermSwitch:
+			size++
+		case ir.TermCondBr:
+			size++
+			fixup = succ[b] != blk.Term.Succs[0] && succ[b] != blk.Term.Succs[1]
+		case ir.TermBr:
+			if blk.Term.Succs[0] != succ[b] {
+				size++ // materialized jump
+			}
+		}
+		if pf.Addr[b] != cur {
+			r.add(Error, ClassPlacement, f.Name, b, "block placed at %d, recomputation says %d", pf.Addr[b], cur)
+		}
+		if pf.Size[b] != size {
+			r.add(Error, ClassPlacement, f.Name, b, "block size %d, recomputation says %d", pf.Size[b], size)
+		}
+		switch {
+		case fixup && pf.FixupAddr[b] != cur+size:
+			r.add(Error, ClassPlacement, f.Name, b, "fixup slot at %d, recomputation says %d (directly after the block)",
+				pf.FixupAddr[b], cur+size)
+		case !fixup && pf.FixupAddr[b] != -1:
+			r.add(Error, ClassPlacement, f.Name, b, "fixup slot at %d for a block that needs none", pf.FixupAddr[b])
+		}
+		cur += size
+		if fixup {
+			cur++
+		}
+	}
+	if pf.End != cur {
+		r.add(Error, ClassPlacement, f.Name, -1, "function ends at %d, recomputation says %d", pf.End, cur)
+	}
+	return r
+}
+
+// Cost checks that the incremental, event-driven penalty bookkeeping
+// (layout.Penalty summing FuncLayout.Exec over profiled edges) matches a
+// from-scratch recomputation through the paper's d(B, X) walk-cost
+// semantics (layout.SuccessorCost summed over the layout walk). The two
+// paths share no code beyond the machine model, so a divergence means the
+// cost model and the event accounting have drifted apart — or, for a
+// layout not finalized against this profile, that a displaced conditional
+// carries the more expensive fixup arrangement.
+func Cost(f *ir.Func, fp *interp.FuncProfile, fl *layout.FuncLayout, m machine.Model) *Report {
+	r := &Report{}
+	event := layout.Penalty(f, fl, fp, m)
+	succ := fl.LayoutSuccessors(f)
+	var walk layout.Cost
+	for b := range f.Blocks {
+		walk += layout.SuccessorCost(f, fp, fl.Pred, b, succ[b], m)
+	}
+	if event != walk {
+		r.add(Error, ClassCost, f.Name, -1,
+			"event-driven penalty %d != walk-cost recomputation %d (drifted cost bookkeeping or suboptimal fixup arrangement)",
+			event, walk)
+	}
+	return r
+}
+
+// LayoutStructure checks the profile-independent layout invariants of a
+// whole-module layout: permutation validity per function, patch
+// equivalence of the emitted form, and placement bookkeeping. It is the
+// right check for a layout being replayed against an input other than
+// its training input (cross-validation), where the profile-dependent
+// cost check does not apply.
+func LayoutStructure(mod *ir.Module, l *layout.Layout) *Report {
+	r := &Report{}
+	forEachValidFuncLayout(r, mod, l, func(fi int, f *ir.Func, fl *layout.FuncLayout) {
+		r.Merge(VerifyEmitted(f, fl, Emit(f, fl)))
+		r.Merge(Placement(f, fl, layout.PlaceFunc(f, fl, 0)))
+	})
+	return r
+}
+
+// Layouts checks a whole-module layout against its training profile:
+// everything LayoutStructure covers plus cost-recomputation consistency.
+func Layouts(mod *ir.Module, prof *interp.Profile, l *layout.Layout, m machine.Model) *Report {
+	r := &Report{}
+	forEachValidFuncLayout(r, mod, l, func(fi int, f *ir.Func, fl *layout.FuncLayout) {
+		r.Merge(VerifyEmitted(f, fl, Emit(f, fl)))
+		r.Merge(Placement(f, fl, layout.PlaceFunc(f, fl, 0)))
+		r.Merge(Cost(f, prof.Funcs[fi], fl, m))
+	})
+	return r
+}
+
+// forEachValidFuncLayout validates layout shape and permutations, then
+// invokes fn for every function whose layout passed (deeper checks index
+// through the permutation and need it sound).
+func forEachValidFuncLayout(r *Report, mod *ir.Module, l *layout.Layout, fn func(fi int, f *ir.Func, fl *layout.FuncLayout)) {
+	if len(l.Funcs) != len(mod.Funcs) {
+		r.add(Error, ClassPermutation, "", -1, "%d function layouts for %d functions", len(l.Funcs), len(mod.Funcs))
+		return
+	}
+	for fi, f := range mod.Funcs {
+		fl := l.Funcs[fi]
+		if err := fl.Validate(f); err != nil {
+			r.add(Error, ClassPermutation, f.Name, -1, "%v", err)
+			continue
+		}
+		fn(fi, f, fl)
+	}
+}

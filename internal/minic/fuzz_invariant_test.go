@@ -1,0 +1,96 @@
+// Package minic_test extends the front-end fuzzing with whole-pipeline
+// invariants (it lives in the external test package so it can import the
+// lowerer, the interpreter and the checker without an import cycle).
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"branchalign/internal/check"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/lower"
+	"branchalign/internal/minic"
+)
+
+// FuzzCompileInvariants pushes every fuzzed program that survives the
+// front end through the rest of the pipeline and asserts the checker's
+// invariants instead of just "no panic":
+//
+//   - a program that parses and checks must lower to a module that passes
+//     ir.Verify and the check.Module audit without structural errors;
+//   - a bounded interpreter run of that module that completes normally
+//     must leave a profile satisfying flow conservation (check.Flow).
+//
+// A run that aborts (step budget, division by zero, out-of-bounds access)
+// legitimately strands control mid-function, so conservation is only
+// asserted for clean completions.
+func FuzzCompileInvariants(f *testing.F) {
+	seeds := []string{
+		"func main() { return 0; }",
+		"func main(n) { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+		"func main(x[], n) { var s = 0; var i = 0; while (i < n) { s = s + x[i]; i = i + 1; } return s; }",
+		"func g(x) { if (x <= 1) { return 1; } return x * g(x - 1); } func main(n) { return g(n % 10); }",
+		"func main(n) { switch (n % 3) { case 0: return 7; case 1: return 8; default: return 9; } return 0; }",
+		"global acc; func bump(x) { acc = acc + x; return acc; } func main(n) { var i = 0; for (i = 0; i < n; i = i + 1) { bump(i); } return acc; }",
+		"func main(n) { return n / (n - n); }",     // traps: division by zero
+		"func main(n) { while (1) { } return 0; }", // hits the step budget
+		"func main(n) { var a[4]; return a[n]; }",  // may trap: bounds
+		"func f() { return 0; }",                   // no main: entry defaults to function 0
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			return
+		}
+		info, err := minic.Check(prog)
+		if err != nil {
+			return
+		}
+		mod, err := lower.Program(info)
+		if err != nil {
+			// The lowerer rejects a few checked-but-unlowerable shapes
+			// (e.g. register pressure limits); rejection must be a
+			// positioned error, never a malformed module.
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatalf("lower rejected program with an empty error")
+			}
+			return
+		}
+		if r := check.Module(mod); !r.OK() {
+			t.Fatalf("lowered module breaks structural invariants:\n%s\nsource:\n%s", r.String(), src)
+		}
+		if len(mod.Funcs) == 0 {
+			return
+		}
+		inputs, ok := entryInputs(mod)
+		if !ok {
+			return
+		}
+		prof := interp.NewProfile(mod)
+		if _, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 16, MaxDepth: 64}); err != nil {
+			return // aborted runs legally violate conservation
+		}
+		if r := check.Flow(mod, prof); !r.OK() {
+			t.Fatalf("completed run violates flow conservation:\n%s\nsource:\n%s", r.String(), src)
+		}
+	})
+}
+
+// entryInputs builds arguments matching the entry function's signature.
+func entryInputs(mod *ir.Module) ([]interp.Input, bool) {
+	entry := mod.Funcs[mod.EntryFunc]
+	inputs := make([]interp.Input, 0, len(entry.Params))
+	for _, p := range entry.Params {
+		if p == ir.ParamArray {
+			inputs = append(inputs, interp.ArrayInput([]int64{3, 1, 4, 1, 5}))
+		} else {
+			inputs = append(inputs, interp.ScalarInput(5))
+		}
+	}
+	return inputs, true
+}

@@ -19,6 +19,7 @@ package pipe
 import (
 	"fmt"
 
+	"branchalign/internal/check"
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
@@ -76,6 +77,13 @@ type Config struct {
 	// module order (interprocedural procedure ordering; see
 	// layout.OrderFunctions).
 	FuncOrder []int
+	// SelfCheck is the debug flag that runs the invariant checker
+	// (package check) around the simulation: the module and layout are
+	// audited before replay (structure, permutation validity, patch
+	// equivalence, placement and cost bookkeeping) and, when the run
+	// collects a profile, flow conservation is verified afterwards.
+	// Violations surface as errors from Run / RunChecked.
+	SelfCheck bool
 }
 
 // place builds the placed module respecting Config.FuncOrder.
@@ -306,13 +314,32 @@ func (s *Simulator) Stats() Stats { return s.stats }
 
 // Run interprets mod on inputs while simulating the given layout, and
 // returns the simulation statistics together with the interpreter result.
+//
+// With cfg.SelfCheck set, the invariant checker audits the module and
+// layout before the simulation starts and verifies flow conservation of
+// the run's profile afterwards; any violation is returned as an error.
 func Run(mod *ir.Module, l *layout.Layout, inputs []interp.Input, cfg Config, opts interp.Options) (Stats, interp.Result, error) {
+	if cfg.SelfCheck {
+		r := check.Module(mod)
+		r.Merge(check.LayoutStructure(mod, l))
+		if err := r.Err(); err != nil {
+			return Stats{}, interp.Result{}, fmt.Errorf("pipe: self-check before run: %w", err)
+		}
+		if opts.Profile == nil {
+			opts.Profile = interp.NewProfile(mod)
+		}
+	}
 	pm := cfg.place(mod, l)
 	sim := NewSimulator(pm, cfg)
 	opts.EdgeTrace = sim.OnEdge
 	res, err := interp.Run(mod, inputs, opts)
 	if err != nil {
 		return Stats{}, res, err
+	}
+	if cfg.SelfCheck {
+		if err := check.Flow(mod, opts.Profile).Err(); err != nil {
+			return Stats{}, res, fmt.Errorf("pipe: self-check after run: %w", err)
+		}
 	}
 	return sim.Stats(), res, nil
 }
@@ -350,8 +377,17 @@ func Record(mod *ir.Module, inputs []interp.Input, opts interp.Options) (*Trace,
 	return tr, res, nil
 }
 
-// Replay simulates a recorded trace under the given layout.
+// Replay simulates a recorded trace under the given layout. With
+// cfg.SelfCheck set it panics on a module or layout invariant violation
+// (use ReplayChecked to get the violation as an error instead).
 func Replay(tr *Trace, mod *ir.Module, l *layout.Layout, cfg Config) Stats {
+	if cfg.SelfCheck {
+		st, err := ReplayChecked(tr, mod, l, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return st
+	}
 	pm := cfg.place(mod, l)
 	sim := NewSimulator(pm, cfg)
 	for _, e := range tr.events {
@@ -361,4 +397,18 @@ func Replay(tr *Trace, mod *ir.Module, l *layout.Layout, cfg Config) Stats {
 		sim.OnEdge(fn, block, succ)
 	}
 	return sim.Stats()
+}
+
+// ReplayChecked is Replay with the invariant checker run first: the
+// module and the layout are audited (structure, permutation validity,
+// patch equivalence, placement) and a violation is returned as an error
+// instead of replaying a trace against a corrupt layout.
+func ReplayChecked(tr *Trace, mod *ir.Module, l *layout.Layout, cfg Config) (Stats, error) {
+	r := check.Module(mod)
+	r.Merge(check.LayoutStructure(mod, l))
+	if err := r.Err(); err != nil {
+		return Stats{}, fmt.Errorf("pipe: self-check before replay: %w", err)
+	}
+	cfg.SelfCheck = false
+	return Replay(tr, mod, l, cfg), nil
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate, shell form of `make ci`: formatting, go vet, full build,
+# race-detector test suite, and the invariant checker over every bundled
+# benchmark. Run from anywhere; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== balign vet -all"
+go run ./cmd/balign vet -all
+
+echo "ci: all gates green"
