@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race vet-benchmarks bench clean
+.PHONY: ci fmt vet build test race vet-benchmarks bench bench-snapshot clean
 
 ci: fmt vet build race vet-benchmarks
 
@@ -34,6 +34,15 @@ vet-benchmarks:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record a benchmark snapshot to results/BENCH_<LABEL>.json; restrict
+# with BENCH=<regex>. Example (the dense-vs-sparse kernel comparison):
+#   make bench-snapshot LABEL=baseline "BENCH=//dense"
+#   make bench-snapshot LABEL=sparse "BENCH=//sparse"
+LABEL ?= local
+BENCH ?= .
+bench-snapshot:
+	scripts/bench.sh $(LABEL) '$(BENCH)'
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"branchalign/internal/core"
@@ -41,11 +43,36 @@ func main() {
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark names/abbrs (default: all)")
 		modelSel = flag.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		synth    = flag.Int("synth", 0, "add N synthetic instances to -appendix")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !(*table1 || *table2 || *table3 || *table4 || *fig2 || *fig3 || *appendix || *ext || *all) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	s := core.NewSuite(*seed)

@@ -45,6 +45,59 @@ func BuildMatrix(f *ir.Func, fp *interp.FuncProfile, pred []int, m machine.Model
 	return mat
 }
 
+// BuildSparseMatrix constructs the same DTSP instance as BuildMatrix in
+// sparse form, in O(V+E) time and memory instead of Θ(V²). Each row of
+// the instance takes at most outdegree(B)+1 distinct values — one per CFG
+// successor plus a row-constant "displaced" cost that also covers the
+// end-of-layout column 0 (layout.SuccessorCostRow) — so the whole matrix
+// is a per-row default plus an exception list the size of the CFG edge
+// set. tsp.SparseMatrix.At agrees with the dense matrix entry-for-entry;
+// the sparse solver kernels exploit the structure directly.
+func BuildSparseMatrix(f *ir.Func, fp *interp.FuncProfile, pred []int, m machine.Model) *tsp.SparseMatrix {
+	n := len(f.Blocks)
+	sb := tsp.NewSparseBuilder(n)
+	var succs []int
+	var costs []layout.Cost
+	type exc struct {
+		col int
+		val tsp.Cost
+	}
+	excs := make([]exc, 0, 4)
+	var cols []int
+	var vals []tsp.Cost
+	for b := 0; b < n; b++ {
+		var def layout.Cost
+		def, succs, costs = layout.SuccessorCostRow(f, fp, pred, b, m, succs[:0], costs[:0])
+		excs = excs[:0]
+		for k, x := range succs {
+			// The diagonal is never read, and column 0 carries the
+			// end-of-layout cost, which equals the row default.
+			if x == b || x == 0 || costs[k] == def {
+				continue
+			}
+			excs = append(excs, exc{x, costs[k]})
+		}
+		// Stable insertion sort by column; rows have at most
+		// outdegree(b) entries, so this beats sort.SliceStable and
+		// avoids its closure allocation.
+		for i := 1; i < len(excs); i++ {
+			for j := i; j > 0 && excs[j-1].col > excs[j].col; j-- {
+				excs[j], excs[j-1] = excs[j-1], excs[j]
+			}
+		}
+		cols, vals = cols[:0], vals[:0]
+		for _, e := range excs {
+			if len(cols) > 0 && cols[len(cols)-1] == e.col {
+				continue // duplicate successor: first entry wins, as in SuccessorCost
+			}
+			cols = append(cols, e.col)
+			vals = append(vals, e.val)
+		}
+		sb.AddRow(def, cols, vals) // AddRow copies, so the scratch is reusable
+	}
+	return sb.Finish()
+}
+
 // TSP is the paper's aligner: reduce each function to a DTSP and solve it
 // with multi-start iterated 3-opt (exactly for small functions).
 type TSP struct {
@@ -123,7 +176,7 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 		return out
 	}
 	pred := layout.Predictions(f, fp)
-	mat := BuildMatrix(f, fp, pred, m)
+	mat := BuildSparseMatrix(f, fp, pred, m)
 	opts.Seed += seedOffset
 	res := tsp.Solve(mat, opts)
 	res.Tour.RotateTo(0)
@@ -135,17 +188,42 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 	return out
 }
 
+// eachFuncBound evaluates bound(fi, f) for every function of the module
+// on all CPUs and returns the sum over functions in index order. Each
+// function's bound is independent and the summation order is fixed, so
+// the result is identical to the sequential loop.
+func eachFuncBound(mod *ir.Module, bound func(fi int, f *ir.Func) layout.Cost) layout.Cost {
+	per := make([]layout.Cost, len(mod.Funcs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for fi, f := range mod.Funcs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fi int, f *ir.Func) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			per[fi] = bound(fi, f)
+		}(fi, f)
+	}
+	wg.Wait()
+	var total layout.Cost
+	for _, c := range per {
+		total += c
+	}
+	return total
+}
+
 // HeldKarpLowerBound computes the per-function Held-Karp lower bounds on
 // control penalty and returns their sum (in cycles, rounded up to the
 // next integer per function since penalties are integral). No layout can
 // achieve a lower total intraprocedural control penalty on the training
-// input.
+// input. Functions are bounded in parallel (they are independent and the
+// per-function bounds are summed in index order, so the result matches
+// the sequential loop exactly).
 func HeldKarpLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model, opts tsp.HeldKarpOptions) layout.Cost {
-	var total layout.Cost
-	for fi, f := range mod.Funcs {
-		total += FuncHeldKarpBound(f, prof.Funcs[fi], m, opts)
-	}
-	return total
+	return eachFuncBound(mod, func(fi int, f *ir.Func) layout.Cost {
+		return FuncHeldKarpBound(f, prof.Funcs[fi], m, opts)
+	})
 }
 
 // FuncHeldKarpBound computes the Held-Karp bound for a single function's
@@ -157,7 +235,7 @@ func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts
 		return 0
 	}
 	pred := layout.Predictions(f, fp)
-	mat := BuildMatrix(f, fp, pred, m)
+	mat := BuildSparseMatrix(f, fp, pred, m)
 	if n <= 12 {
 		_, opt := tsp.SolveExact(mat)
 		return opt
@@ -181,19 +259,23 @@ func BuildMatrixForFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model) *ts
 	return BuildMatrix(f, fp, layout.Predictions(f, fp), m)
 }
 
+// BuildSparseMatrixForFunc is BuildSparseMatrix with predictions derived
+// internally.
+func BuildSparseMatrixForFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model) *tsp.SparseMatrix {
+	return BuildSparseMatrix(f, fp, layout.Predictions(f, fp), m)
+}
+
 // AssignmentLowerBound computes the per-function assignment-problem
 // bounds and their sum. It is weaker than Held-Karp on most
 // branch-alignment instances (the paper's appendix measures exactly how
-// much weaker).
+// much weaker). Functions are bounded in parallel, like
+// HeldKarpLowerBound.
 func AssignmentLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model) layout.Cost {
-	var total layout.Cost
-	for fi, f := range mod.Funcs {
+	return eachFuncBound(mod, func(fi int, f *ir.Func) layout.Cost {
 		if len(f.Blocks) == 1 {
-			continue
+			return 0
 		}
-		pred := layout.Predictions(f, prof.Funcs[fi])
-		mat := BuildMatrix(f, prof.Funcs[fi], pred, m)
-		total += tsp.AssignmentBound(mat)
-	}
-	return total
+		mat := BuildSparseMatrixForFunc(f, prof.Funcs[fi], m)
+		return tsp.AssignmentBound(mat)
+	})
 }

@@ -72,7 +72,7 @@ func Bounds(mod *ir.Module, prof *interp.Profile, l *layout.Layout, m machine.Mo
 			continue
 		}
 		fp := prof.Funcs[fi]
-		mat := align.BuildMatrixForFunc(f, fp, m)
+		mat := align.BuildSparseMatrixForFunc(f, fp, m)
 		ap := tsp.AssignmentBound(mat)
 		hk := align.FuncHeldKarpBound(f, fp, m, tsp.HeldKarpOptions{Iterations: opts.HKIterations})
 		tour := tsp.CycleCost(mat, tsp.Tour(l.Funcs[fi].Order))

@@ -82,7 +82,7 @@ func (s *Suite) Appendix() (*AppendixStats, error) {
 				RunsAtBest: res.RunsAtBest,
 				HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[fi], s.Model, s.HKOpts),
 			}
-			mat := align.BuildMatrixForFunc(f, prof.Funcs[fi], s.Model)
+			mat := align.BuildSparseMatrixForFunc(f, prof.Funcs[fi], s.Model)
 			inst.APBound = tsp.AssignmentBound(mat)
 			out.Instances = append(out.Instances, inst)
 		}
@@ -114,7 +114,7 @@ func (s *Suite) AppendixSynthetic(count, blocks int) (*AppendixStats, error) {
 			RunsAtBest: res.RunsAtBest,
 			HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[0], s.Model, s.HKOpts),
 		}
-		mat := align.BuildMatrixForFunc(f, prof.Funcs[0], s.Model)
+		mat := align.BuildSparseMatrixForFunc(f, prof.Funcs[0], s.Model)
 		inst.APBound = tsp.AssignmentBound(mat)
 		out.Instances = append(out.Instances, inst)
 	}

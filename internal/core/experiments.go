@@ -89,10 +89,10 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 		row.GreedyMS = msSince(t0)
 
 		t0 = time.Now()
-		mats := make([]*tsp.Matrix, len(mod.Funcs))
+		mats := make([]*tsp.SparseMatrix, len(mod.Funcs))
 		for fi, f := range mod.Funcs {
 			pred := layout.Predictions(f, prof.Funcs[fi])
-			mats[fi] = align.BuildMatrix(f, prof.Funcs[fi], pred, s.Model)
+			mats[fi] = align.BuildSparseMatrix(f, prof.Funcs[fi], pred, s.Model)
 		}
 		row.MatrixMS = msSince(t0)
 

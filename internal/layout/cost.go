@@ -80,6 +80,59 @@ func SuccessorCost(f *ir.Func, fp *interp.FuncProfile, pred []int, b, x int, m m
 	return 0
 }
 
+// SuccessorCostRow is the sparse form of one row of the paper's d(B, X)
+// cost table: it returns the row-constant default — the cost when the
+// layout successor is any block the terminator does not target, which is
+// also the end-of-layout cost d(B, -1) — and appends to succs/costs the
+// (successor block, cost) pairs that can differ from that default. The
+// row has at most outdegree(b) such entries: an unconditional branch is
+// free only into its target, a conditional branch is cheaper into either
+// of its two successors, and a multiway branch saves only on its
+// predicted successor (every other arm pays the mispredict penalty
+// regardless of placement). Duplicate successors resolve the way
+// SuccessorCost's case order does (first match wins), so for every x,
+// SuccessorCost(f, fp, pred, b, x, m) equals the appended cost when x is
+// listed and the default otherwise.
+func SuccessorCostRow(f *ir.Func, fp *interp.FuncProfile, pred []int, b int, m machine.Model, succs []int, costs []Cost) (Cost, []int, []Cost) {
+	blk := f.Blocks[b]
+	counts := fp.EdgeCounts[b]
+	switch blk.Term.Kind {
+	case ir.TermRet:
+		return 0, succs, costs
+	case ir.TermBr:
+		return counts[0] * m.JumpCost,
+			append(succs, blk.Term.Succs[0]),
+			append(costs, 0)
+	case ir.TermCondBr:
+		p := pred[b]
+		nP, nO := counts[p], counts[1-p]
+		def, _ := condDisplacedCost(nP, nO, m)
+		sp, so := blk.Term.Succs[p], blk.Term.Succs[1-p]
+		succs = append(succs, sp)
+		costs = append(costs, nP*m.CondFallthroughCorrect+nO*m.CondMispredict)
+		if so != sp {
+			succs = append(succs, so)
+			costs = append(costs, nP*m.CondTakenCorrect+nO*m.CondMispredict)
+		}
+		return def, succs, costs
+	case ir.TermSwitch:
+		p := pred[b]
+		var def Cost
+		for si, n := range counts {
+			if si == p {
+				def += n * m.MultiCorrectTaken
+			} else {
+				def += n * m.MultiMispredict
+			}
+		}
+		nP := counts[p]
+		return def,
+			append(succs, blk.Term.Succs[p]),
+			append(costs, def-nP*m.MultiCorrectTaken+nP*m.MultiCorrectFallthrough)
+	}
+	return 0, succs, costs
+}
+
 // Event is the consequence of one dynamic execution of a block's
 // terminator under a layout.
 type Event struct {

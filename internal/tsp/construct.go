@@ -9,8 +9,12 @@ import (
 // moving to the cheapest unvisited city. With rng == nil the choice is
 // deterministic; otherwise each step picks uniformly among the k cheapest
 // unvisited cities (k = 3, per the "randomized Nearest Neighbor starts" of
-// the paper's solver protocol).
-func NearestNeighbor(m *Matrix, start int, rng *rand.Rand) Tour {
+// the paper's solver protocol). Ties are broken by city index, and the
+// sparse fast path reproduces the dense scan's choices exactly.
+func NearestNeighbor(m Costs, start int, rng *rand.Rand) Tour {
+	if s, ok := m.(*SparseMatrix); ok {
+		return nearestNeighborSparse(s, start, rng)
+	}
 	n := m.Len()
 	visited := make([]bool, n)
 	tour := make(Tour, 0, n)
@@ -57,6 +61,79 @@ func NearestNeighbor(m *Matrix, start int, rng *rand.Rand) Tour {
 	return tour
 }
 
+// nearestNeighborSparse is NearestNeighbor on the sparse representation:
+// from the current city, the candidate successors are the unvisited
+// exception columns plus the first three unvisited non-exception columns
+// (all non-exception columns cost the row default, so the three with the
+// smallest indices are exactly the ones the dense scan's stable best-3
+// buffer would keep). O(V+E + n·k) over the whole tour instead of Θ(n²).
+func nearestNeighborSparse(s *SparseMatrix, start int, rng *rand.Rand) Tour {
+	n := s.Len()
+	// Doubly linked list over unvisited cities in index order.
+	next := make([]int, n+1) // next[n] is the head sentinel
+	prev := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		next[i] = (i + 1) % (n + 1)
+		prev[i] = (i + n) % (n + 1)
+	}
+	visited := make([]bool, n)
+	visit := func(c int) {
+		visited[c] = true
+		next[prev[c]] = next[c]
+		prev[next[c]] = prev[c]
+	}
+	isExc := make([]bool, n)
+	tour := make(Tour, 0, n)
+	cur := start
+	visit(cur)
+	tour = append(tour, cur)
+	type cand struct {
+		city int
+		cost Cost
+	}
+	cands := make([]cand, 0, 16)
+	for len(tour) < n {
+		cands = cands[:0]
+		cols, vals := s.Row(cur)
+		for k, c := range cols {
+			isExc[c] = true
+			if !visited[c] {
+				cands = append(cands, cand{c, vals[k]})
+			}
+		}
+		def := s.RowDefault(cur)
+		taken := 0
+		for c := next[n]; c != n && taken < 3; c = next[c] {
+			if isExc[c] {
+				continue
+			}
+			cands = append(cands, cand{c, def})
+			taken++
+		}
+		for _, c := range cols {
+			isExc[c] = false
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].cost != cands[b].cost {
+				return cands[a].cost < cands[b].cost
+			}
+			return cands[a].city < cands[b].city
+		})
+		nbest := len(cands)
+		if nbest > 3 {
+			nbest = 3
+		}
+		pick := 0
+		if rng != nil && nbest > 1 {
+			pick = rng.Intn(nbest)
+		}
+		cur = cands[pick].city
+		visit(cur)
+		tour = append(tour, cur)
+	}
+	return tour
+}
+
 // GreedyEdge builds a tour by sorting all directed edges by cost and
 // accepting each edge whose head still lacks an outgoing edge, whose tail
 // still lacks an incoming edge, and which does not close a premature
@@ -64,7 +141,12 @@ func NearestNeighbor(m *Matrix, start int, rng *rand.Rand) Tour {
 // non-nil rng the edge order is perturbed (each edge's sort key is
 // multiplied by a factor drawn from [1, 1.25)), giving the "randomized
 // Greedy starts" of the paper's solver protocol.
-func GreedyEdge(m *Matrix, rng *rand.Rand) Tour {
+//
+// The construction inherently ranks all n(n-1) directed edges (the
+// randomized variant draws an independent key per edge), so it stays
+// Θ(n² log n) for every representation; Solve therefore reserves greedy
+// starts for instances where the edge sort is affordable.
+func GreedyEdge(m Costs, rng *rand.Rand) Tour {
 	n := m.Len()
 	if n == 1 {
 		return Tour{0}

@@ -9,13 +9,18 @@ const MaxExactCities = 20
 // SolveExact computes an optimal directed Hamiltonian cycle with the
 // Held-Karp dynamic program. It panics for instances larger than
 // MaxExactCities.
-func SolveExact(m *Matrix) (Tour, Cost) {
+func SolveExact(m Costs) (Tour, Cost) {
 	n := m.Len()
 	if n > MaxExactCities {
 		panic(fmt.Sprintf("tsp: SolveExact: %d cities exceeds limit %d", n, MaxExactCities))
 	}
 	if n == 1 {
 		return Tour{0}, 0
+	}
+	if s, ok := m.(*SparseMatrix); ok {
+		// The DP reads every entry Θ(2^n) times; the few hundred bytes of
+		// dense matrix are repaid immediately by array-indexed At.
+		m = s.Dense()
 	}
 	if n == 2 {
 		return Tour{0, 1}, m.At(0, 1) + m.At(1, 0)
@@ -88,7 +93,7 @@ func SolveExact(m *Matrix) (Tour, Cost) {
 // SolveBruteForce exhaustively enumerates all (n-1)! cyclic permutations.
 // It is only intended for cross-checking other solvers in tests and
 // panics above 10 cities.
-func SolveBruteForce(m *Matrix) (Tour, Cost) {
+func SolveBruteForce(m Costs) (Tour, Cost) {
 	n := m.Len()
 	if n > 10 {
 		panic(fmt.Sprintf("tsp: SolveBruteForce: %d cities is too many", n))

@@ -15,6 +15,24 @@ type HeldKarpOptions struct {
 	InitialAlpha float64
 }
 
+// hkSchedule returns the iteration count and step-halving period shared
+// by every subgradient driver, from the node count of the instance being
+// relaxed.
+func hkSchedule(nodes, iterations int) (iters, period int) {
+	iters = iterations
+	if iters <= 0 {
+		iters = 100 + 4*nodes
+		if iters > 1000 {
+			iters = 1000
+		}
+	}
+	period = iters / 8
+	if period < 5 {
+		period = 5
+	}
+	return iters, period
+}
+
 // HeldKarpSym computes the Held-Karp lower bound for a symmetric instance
 // via 1-tree Lagrangian relaxation with subgradient ascent (Held & Karp
 // 1970, 1971). The returned value is a valid lower bound on the optimal
@@ -32,17 +50,11 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 	if n < 3 {
 		return float64(CycleCost(m, IdentityTour(n)))
 	}
-	iters := opt.Iterations
-	if iters <= 0 {
-		iters = 100 + 4*n
-		if iters > 1000 {
-			iters = 1000
-		}
-	}
+	iters, period := hkSchedule(n, opt.Iterations)
 	ub := opt.UpperBound
 	if ub == 0 {
 		// Unset; negative upper bounds are legitimate for shifted
-		// instances (see HeldKarpDirected).
+		// instances (see HeldKarpDirectedDense).
 		ub = CycleCost(m, NearestNeighbor(m, 0, nil))
 	}
 	alpha := opt.InitialAlpha
@@ -52,14 +64,10 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 
 	pi := make([]float64, n)
 	deg := make([]int, n)
+	ws := newOneTreeWorkspace(n)
 	best := math.Inf(-1)
-	// Step-size schedule: halve alpha every period iterations.
-	period := iters / 8
-	if period < 5 {
-		period = 5
-	}
 	for it := 0; it < iters; it++ {
-		w := oneTree(m, pi, deg)
+		w := oneTree(m, pi, deg, ws)
 		var piSum float64
 		for _, p := range pi {
 			piSum += p
@@ -92,31 +100,115 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 	return best
 }
 
-// HeldKarpDirected computes the Held-Karp bound for an asymmetric instance
-// by bounding its 2-city symmetric transformation, exactly as the paper
-// does. The materialized symmetric matrix carries -LockCost on locked
+// HeldKarpDirected computes the Held-Karp bound for an asymmetric
+// instance by relaxing its 2-city symmetric transformation, exactly as
+// the paper does — but without ever materializing the 2n×2n symmetric
+// matrix. The instance is first converted to canonical sparse form
+// (Sparsify), which makes the result a pure function of the cost values:
+// dense and sparse representations of the same instance yield identical
+// bounds. Each subgradient iteration builds the implicit 1-tree in
+// O(E + n log n) instead of Θ(n²) (see sparseOneTree), which is what
+// makes the bound affordable on multi-thousand-block functions.
+//
+// HeldKarpDirectedDense is the dense reference implementation; its bound
+// can differ in the last few percent (different 1-tree tie-breaking, and
+// the implicit path caps exception edges at their row default), but both
+// are valid lower bounds on the optimal directed tour.
+func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
+	n := c.Len()
+	if n < 3 {
+		return HeldKarpDirectedDense(c, opt)
+	}
+	sp := Sparsify(c)
+	ot := newSparseOneTree(sp)
+	shift := float64(n) * float64(ot.L)
+	dirUB := opt.UpperBound
+	if dirUB <= 0 {
+		dirUB = CycleCost(sp, NearestNeighbor(sp, 0, nil))
+	}
+	ub := float64(dirUB) - shift
+
+	iters, period := hkSchedule(ot.N, opt.Iterations)
+	alpha := opt.InitialAlpha
+	if alpha <= 0 {
+		alpha = 2
+	}
+	best := math.Inf(-1)
+	for it := 0; it < iters; it++ {
+		w := ot.run()
+		var piSum float64
+		for _, p := range ot.pi {
+			piSum += p
+		}
+		bound := w - 2*piSum
+		if bound > best {
+			best = bound
+		}
+		var norm float64
+		for i := 0; i < ot.N; i++ {
+			d := float64(ot.deg[i] - 2)
+			norm += d * d
+		}
+		if norm == 0 {
+			break
+		}
+		step := alpha * (ub - bound) / norm
+		if step <= 0 {
+			break
+		}
+		for i := 0; i < ot.N; i++ {
+			ot.pi[i] += step * float64(ot.deg[i]-2)
+		}
+		if (it+1)%period == 0 {
+			alpha /= 2
+		}
+	}
+	return best + shift
+}
+
+// HeldKarpDirectedDense is the dense reference path: materialize the
+// 2-city symmetric transformation (Sym.Matrix, with -LockCost on locked
 // edges, so its optimum is the directed optimum shifted down by
-// n*LockCost; the same shift converts the symmetric bound back into a
-// valid lower bound on the optimal directed tour cost.
-func HeldKarpDirected(m *Matrix, opt HeldKarpOptions) float64 {
-	s := Symmetrize(m)
+// n*LockCost) and bound it with HeldKarpSym; the same shift converts the
+// symmetric bound back into a valid lower bound on the optimal directed
+// tour cost. Θ(n²) memory and Θ(n²) time per subgradient iteration —
+// kept as the oracle the sparse path is validated against.
+func HeldKarpDirectedDense(c Costs, opt HeldKarpOptions) float64 {
+	s := Symmetrize(c)
 	symM := s.Matrix()
-	shift := float64(m.Len()) * float64(s.LockCost())
+	shift := float64(c.Len()) * float64(s.LockCost())
 	dirUB := opt.UpperBound
 	if dirUB <= 0 {
 		// A directed NN tour embeds into the symmetric space (shifted).
-		dirUB = CycleCost(m, NearestNeighbor(m, 0, nil))
+		dirUB = CycleCost(c, NearestNeighbor(c, 0, nil))
 	}
 	symOpt := opt
-	symOpt.UpperBound = dirUB - Cost(m.Len())*s.LockCost()
+	symOpt.UpperBound = dirUB - Cost(c.Len())*s.LockCost()
 	return HeldKarpSym(symM, symOpt) + shift
+}
+
+// oneTreeWorkspace holds the Prim scratch arrays for the dense oneTree,
+// hoisted out of the per-iteration path so that subgradient ascent does
+// not reallocate them on every iterate.
+type oneTreeWorkspace struct {
+	inTree []bool
+	dist   []float64
+	parent []int
+}
+
+func newOneTreeWorkspace(n int) *oneTreeWorkspace {
+	return &oneTreeWorkspace{
+		inTree: make([]bool, n),
+		dist:   make([]float64, n),
+		parent: make([]int, n),
+	}
 }
 
 // oneTree computes the minimum-weight 1-tree under reduced costs
 // c(i,j) + pi[i] + pi[j]: a minimum spanning tree over cities 1..n-1 plus
 // the two cheapest edges incident to city 0. deg receives the degree of
 // each city in the 1-tree. The returned weight is in reduced costs.
-func oneTree(m *Matrix, pi []float64, deg []int) float64 {
+func oneTree(m *Matrix, pi []float64, deg []int, ws *oneTreeWorkspace) float64 {
 	n := m.Len()
 	for i := range deg {
 		deg[i] = 0
@@ -126,10 +218,9 @@ func oneTree(m *Matrix, pi []float64, deg []int) float64 {
 	}
 	// Prim over cities 1..n-1.
 	const unreached = math.MaxFloat64
-	inTree := make([]bool, n)
-	dist := make([]float64, n)
-	parent := make([]int, n)
-	for i := range dist {
+	inTree, dist, parent := ws.inTree, ws.dist, ws.parent
+	for i := 0; i < n; i++ {
+		inTree[i] = false
 		dist[i] = unreached
 		parent[i] = -1
 	}

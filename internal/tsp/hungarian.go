@@ -10,7 +10,7 @@ package tsp
 //
 // The implementation is the standard O(n^3) Hungarian algorithm with
 // potentials and shortest augmenting paths.
-func AssignmentBound(m *Matrix) Cost {
+func AssignmentBound(m Costs) Cost {
 	sigma := AssignmentSolve(m)
 	var total Cost
 	for i, j := range sigma {
@@ -21,7 +21,7 @@ func AssignmentBound(m *Matrix) Cost {
 
 // AssignmentSolve returns the minimizing permutation sigma (sigma[i] is
 // the city assigned to follow city i) with self-assignments forbidden.
-func AssignmentSolve(m *Matrix) []int {
+func AssignmentSolve(m Costs) []int {
 	n := m.Len()
 	if n == 1 {
 		return []int{0}

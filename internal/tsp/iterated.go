@@ -31,9 +31,9 @@ func DoubleBridge(t Tour, rng *rand.Rand) Tour {
 // double bridge, re-optimize, and keep the better of the incumbent and the
 // kicked solution. It performs iters kick-and-reoptimize rounds and
 // returns the best tour found with its cost.
-func IteratedThreeOpt(m *Matrix, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
+func IteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
 	if nb == nil {
-		nb = BuildNeighbors(m, DefaultNeighborCount, m.Forbid())
+		nb = BuildNeighbors(m, DefaultNeighborCount, ForbidCost(m))
 	}
 	o := NewThreeOpt(m, nb, start)
 	o.Optimize()
@@ -83,6 +83,11 @@ type SolveOptions struct {
 	// exactly by dynamic programming instead of local search. <= 0
 	// disables exact solving.
 	ExactThreshold int
+	// GreedyMaxCities: above this instance size greedy-edge starts are
+	// replaced by randomized nearest-neighbor starts — the Θ(n² log n)
+	// all-edges sort would dominate the whole solve on large functions.
+	// <= 0 selects a default of 4096.
+	GreedyMaxCities int
 	// Seed seeds the deterministic random stream.
 	Seed int64
 }
@@ -119,11 +124,25 @@ type Result struct {
 	Runs int
 }
 
+// denseSolveCutover is the instance size below which Solve materializes
+// a sparse instance densely before running local search: the kernels are
+// At-bound, and at a few dozen cities the whole dense matrix is smaller
+// than one cache way, so array indexing beats the exception-list scan.
+// The sparse representation's wins (O(V+E) memory, exception-aware
+// neighbor lists, the implicit 1-tree) only pay off above this size.
+const denseSolveCutover = 24
+
 // Solve finds a low-cost directed Hamiltonian cycle for m using the
 // configured multi-start iterated 3-opt protocol (or exact DP for small
-// instances).
-func Solve(m *Matrix, opt SolveOptions) Result {
+// instances). It accepts any cost representation and returns identical
+// results for dense and sparse views of the same instance (densifying a
+// tiny sparse instance preserves every At value, and all kernels are
+// pure functions of those values).
+func Solve(m Costs, opt SolveOptions) Result {
 	n := m.Len()
+	if s, ok := m.(*SparseMatrix); ok && n <= denseSolveCutover {
+		m = s.Dense()
+	}
 	if opt.ExactThreshold > 0 && n <= opt.ExactThreshold {
 		t, c := SolveExact(m)
 		return Result{Tour: t, Cost: c, Exact: true, RunsAtBest: 1, Runs: 1}
@@ -137,7 +156,11 @@ func Solve(m *Matrix, opt SolveOptions) Result {
 		iters = opt.MaxIterations
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	nb := BuildNeighbors(m, opt.NeighborK, m.Forbid())
+	nb := BuildNeighbors(m, opt.NeighborK, ForbidCost(m))
+	greedyMax := opt.GreedyMaxCities
+	if greedyMax <= 0 {
+		greedyMax = 4096
+	}
 
 	var res Result
 	consider := func(t Tour, c Cost) {
@@ -152,7 +175,12 @@ func Solve(m *Matrix, opt SolveOptions) Result {
 		}
 	}
 	for i := 0; i < opt.GreedyStarts; i++ {
-		start := GreedyEdge(m, rng)
+		var start Tour
+		if n > greedyMax {
+			start = NearestNeighbor(m, rng.Intn(n), rng)
+		} else {
+			start = GreedyEdge(m, rng)
+		}
 		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
 		consider(t, c)
 	}

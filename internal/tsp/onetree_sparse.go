@@ -1,0 +1,313 @@
+package tsp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// sparseOneTree computes minimum 1-trees of the 2-city symmetric
+// transformation of a sparse DTSP instance without materializing the
+// 2n×2n matrix (compare Sym.Matrix, which HeldKarpDirectedDense feeds to
+// the dense Prim in oneTree).
+//
+// The symmetric instance over N = 2n nodes (in_i = 2i, out_i = 2i+1) has
+// three edge classes: locked intra-city edges at -L, directed edges
+// {out_i, in_j} at c(i->j), and forbidden same-side edges at L, where
+// L = Forbid(). A dense Prim is Θ(N²) per subgradient iteration. Here
+// each iteration is O(E + N log N) by splitting the offers to a non-tree
+// node into:
+//
+//   - explicit offers (locked partners and exception edges cheaper than
+//     their row default), kept in a lazy-deletion heap;
+//   - a default channel: every tree out-node offers def(i)+pi to every
+//     in-node, so the best such offer is a single scalar, and the best
+//     receiver is the non-tree in-node with minimum pi (a static order
+//     per iteration, since pi is fixed while the 1-tree is built);
+//   - mirrored channels for default edges into out-nodes and for
+//     forbidden same-side edges.
+//
+// Exception edges costlier than their row default are capped at the
+// default (equivalently: the default edge of the same pair is kept as a
+// parallel edge). Every edge weight used is <= the true symmetric cost,
+// so the resulting value is a minimum 1-tree of a relaxed instance and
+// remains a valid Held-Karp lower bound after the Lagrangian correction;
+// it can only be (marginally) looser than the dense reference, never
+// wrong. On branch-alignment instances the cap affects only conditional
+// taken-targets costlier than full displacement.
+type sparseOneTree struct {
+	sp *SparseMatrix
+	n  int // directed cities
+	N  int // symmetric nodes
+	L  Cost
+
+	// Column-major view of the exceptions (built once; pi-independent).
+	colStart []int
+	colRows  []int
+	colVals  []Cost
+
+	pi  []float64
+	deg []int
+
+	inTree []bool
+	key    []float64 // best explicit offer per node
+	par    []int     // parent achieving key (or channel parent)
+	h      offerHeap
+
+	inByPi     []int // in-nodes (excluding node 0) by (pi, node)
+	outByDefPi []int // out-nodes by (def+pi, node)
+	outByPi    []int // out-nodes by (pi, node)
+}
+
+type offer struct {
+	val  float64
+	node int
+	par  int
+}
+
+type offerHeap []offer
+
+func (h offerHeap) Len() int { return len(h) }
+func (h offerHeap) Less(i, j int) bool {
+	if h[i].val != h[j].val {
+		return h[i].val < h[j].val
+	}
+	return h[i].node < h[j].node
+}
+func (h offerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *offerHeap) Push(x interface{}) { *h = append(*h, x.(offer)) }
+func (h *offerHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func newSparseOneTree(sp *SparseMatrix) *sparseOneTree {
+	n := sp.Len()
+	N := 2 * n
+	t := &sparseOneTree{
+		sp:         sp,
+		n:          n,
+		N:          N,
+		L:          sp.Forbid(),
+		pi:         make([]float64, N),
+		deg:        make([]int, N),
+		inTree:     make([]bool, N),
+		key:        make([]float64, N),
+		par:        make([]int, N),
+		inByPi:     make([]int, 0, n-1),
+		outByDefPi: make([]int, 0, n),
+		outByPi:    make([]int, 0, n),
+	}
+	// Transpose the exception structure once.
+	t.colStart = make([]int, n+1)
+	for _, c := range sp.cols {
+		t.colStart[c+1]++
+	}
+	for j := 0; j < n; j++ {
+		t.colStart[j+1] += t.colStart[j]
+	}
+	t.colRows = make([]int, len(sp.cols))
+	t.colVals = make([]Cost, len(sp.cols))
+	fill := append([]int(nil), t.colStart[:n]...)
+	for i := 0; i < n; i++ {
+		cols, vals := sp.Row(i)
+		for k, c := range cols {
+			t.colRows[fill[c]] = i
+			t.colVals[fill[c]] = vals[k]
+			fill[c]++
+		}
+	}
+	return t
+}
+
+const otUnreached = math.MaxFloat64
+
+// run builds the minimum 1-tree under the current pi, fills deg, and
+// returns the reduced-cost weight (the same quantity oneTree returns).
+func (t *sparseOneTree) run() float64 {
+	n, N := t.n, t.N
+	pi := t.pi
+	for i := range t.deg {
+		t.deg[i] = 0
+		t.inTree[i] = false
+		t.key[i] = otUnreached
+		t.par[i] = -1
+	}
+	t.h = t.h[:0]
+
+	// Static per-iteration selection orders.
+	t.inByPi = t.inByPi[:0]
+	t.outByDefPi = t.outByDefPi[:0]
+	t.outByPi = t.outByPi[:0]
+	for j := 1; j < n; j++ {
+		t.inByPi = append(t.inByPi, 2*j)
+	}
+	for i := 0; i < n; i++ {
+		t.outByDefPi = append(t.outByDefPi, 2*i+1)
+		t.outByPi = append(t.outByPi, 2*i+1)
+	}
+	sort.Slice(t.inByPi, func(a, b int) bool {
+		x, y := t.inByPi[a], t.inByPi[b]
+		if pi[x] != pi[y] {
+			return pi[x] < pi[y]
+		}
+		return x < y
+	})
+	defPi := func(out int) float64 { return float64(t.sp.RowDefault(out/2)) + pi[out] }
+	sort.Slice(t.outByDefPi, func(a, b int) bool {
+		x, y := t.outByDefPi[a], t.outByDefPi[b]
+		if defPi(x) != defPi(y) {
+			return defPi(x) < defPi(y)
+		}
+		return x < y
+	})
+	sort.Slice(t.outByPi, func(a, b int) bool {
+		x, y := t.outByPi[a], t.outByPi[b]
+		if pi[x] != pi[y] {
+			return pi[x] < pi[y]
+		}
+		return x < y
+	})
+	inHead, outDefHead, outPiHead := 0, 0, 0
+
+	// Scalar state: best tree-side endpoints for the channel offers.
+	bestDefOut, bestDefOutArg := otUnreached, -1 // min def(i)+pi over tree out-nodes
+	bestPiIn, bestPiInArg := otUnreached, -1     // min pi over tree in-nodes
+	bestPiOut, bestPiOutArg := otUnreached, -1   // min pi over tree out-nodes
+	L := float64(t.L)
+
+	improve := func(node int, val float64, par int) {
+		if val < t.key[node] {
+			t.key[node] = val
+			t.par[node] = par
+			heap.Push(&t.h, offer{val, node, par})
+		}
+	}
+	join := func(v int) {
+		t.inTree[v] = true
+		if w := v ^ 1; w != 0 && !t.inTree[w] {
+			improve(w, -L+pi[v]+pi[w], v)
+		}
+		if v&1 == 1 { // out-node of city i
+			i := v / 2
+			if d := defPi(v); d < bestDefOut {
+				bestDefOut, bestDefOutArg = d, v
+			}
+			if pi[v] < bestPiOut {
+				bestPiOut, bestPiOutArg = pi[v], v
+			}
+			def := float64(t.sp.RowDefault(i))
+			cols, vals := t.sp.Row(i)
+			for k, j := range cols {
+				if c := float64(vals[k]); c < def {
+					if u := 2 * j; u != 0 && !t.inTree[u] {
+						improve(u, c+pi[v]+pi[u], v)
+					}
+				}
+			}
+		} else { // in-node of city j
+			j := v / 2
+			if pi[v] < bestPiIn {
+				bestPiIn, bestPiInArg = pi[v], v
+			}
+			for k := t.colStart[j]; k < t.colStart[j+1]; k++ {
+				i := t.colRows[k]
+				if c := float64(t.colVals[k]); c < float64(t.sp.RowDefault(i)) {
+					if u := 2*i + 1; !t.inTree[u] {
+						improve(u, c+pi[v]+pi[u], v)
+					}
+				}
+			}
+		}
+	}
+
+	total := 0.0
+	join(1) // Prim starts at out_0, as the dense oneTree starts at node 1
+	for count := 1; count < N-1; count++ {
+		// Candidate 1: best explicit offer (lazy-deletion heap).
+		var bestVal = otUnreached
+		var bestNode, bestPar = -1, -1
+		for len(t.h) > 0 {
+			top := t.h[0]
+			if t.inTree[top.node] || top.val > t.key[top.node] {
+				heap.Pop(&t.h)
+				continue
+			}
+			bestVal, bestNode, bestPar = top.val, top.node, top.par
+			break
+		}
+		// Candidate 2: default/forbidden edge into the min-pi in-node.
+		for inHead < len(t.inByPi) && t.inTree[t.inByPi[inHead]] {
+			inHead++
+		}
+		if inHead < len(t.inByPi) {
+			v := t.inByPi[inHead]
+			ch, par := bestDefOut, bestDefOutArg
+			if fb := L + bestPiIn; fb < ch {
+				ch, par = fb, bestPiInArg
+			}
+			if ch < otUnreached {
+				if val := ch + pi[v]; val < bestVal || (val == bestVal && v < bestNode) {
+					bestVal, bestNode, bestPar = val, v, par
+				}
+			}
+		}
+		// Candidate 3: default edge into the min-(def+pi) out-node.
+		for outDefHead < len(t.outByDefPi) && t.inTree[t.outByDefPi[outDefHead]] {
+			outDefHead++
+		}
+		if outDefHead < len(t.outByDefPi) && bestPiIn < otUnreached {
+			v := t.outByDefPi[outDefHead]
+			if val := defPi(v) + bestPiIn; val < bestVal || (val == bestVal && v < bestNode) {
+				bestVal, bestNode, bestPar = val, v, bestPiInArg
+			}
+		}
+		// Candidate 4: forbidden edge into the min-pi out-node.
+		for outPiHead < len(t.outByPi) && t.inTree[t.outByPi[outPiHead]] {
+			outPiHead++
+		}
+		if outPiHead < len(t.outByPi) && bestPiOut < otUnreached {
+			v := t.outByPi[outPiHead]
+			if val := L + bestPiOut + pi[v]; val < bestVal || (val == bestVal && v < bestNode) {
+				bestVal, bestNode, bestPar = val, v, bestPiOutArg
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		total += bestVal
+		t.deg[bestNode]++
+		t.deg[bestPar]++
+		join(bestNode)
+	}
+
+	// Two cheapest edges incident to node 0 (in_0), at true costs.
+	best1, best2 := otUnreached, otUnreached
+	arg1, arg2 := -1, -1
+	for b := 1; b < N; b++ {
+		var c float64
+		switch {
+		case b == 1:
+			c = -L // locked partner out_0
+		case b&1 == 1:
+			c = float64(t.sp.At(b/2, 0)) // directed edge out_i -> in_0
+		default:
+			c = L // forbidden in/in edge
+		}
+		d := c + pi[0] + pi[b]
+		switch {
+		case d < best1:
+			best2, arg2 = best1, arg1
+			best1, arg1 = d, b
+		case d < best2:
+			best2, arg2 = d, b
+		}
+	}
+	total += best1 + best2
+	t.deg[0] += 2
+	t.deg[arg1]++
+	t.deg[arg2]++
+	return total
+}

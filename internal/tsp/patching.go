@@ -12,7 +12,7 @@ package tsp
 // tour optimum (random matrices), and "a majority of the instances
 // arising in the branch alignment problem do not have this property".
 // The implementation exists to reproduce that comparison.
-func SolvePatching(m *Matrix) (Tour, Cost) {
+func SolvePatching(m Costs) (Tour, Cost) {
 	n := m.Len()
 	if n == 1 {
 		return Tour{0}, 0

@@ -20,13 +20,13 @@ import "fmt"
 // equivalence in tests, and to feed the Held-Karp bound, which the paper
 // computes on the symmetrized instance.
 type Sym struct {
-	orig   *Matrix
+	orig   Costs
 	forbid Cost
 }
 
 // Symmetrize wraps m in its 2-city symmetric transformation.
-func Symmetrize(m *Matrix) *Sym {
-	return &Sym{orig: m, forbid: m.Forbid()}
+func Symmetrize(m Costs) *Sym {
+	return &Sym{orig: m, forbid: ForbidCost(m)}
 }
 
 // Len returns the number of cities of the symmetric instance (2x the

@@ -23,7 +23,7 @@ package tsp
 // The search uses sorted candidate neighbor lists and don't-look bits
 // (Johnson-McGeoch style) and applies first-improvement moves.
 type ThreeOpt struct {
-	m   *Matrix
+	m   Costs
 	nb  *Neighbors
 	n   int
 	t   Tour
@@ -39,9 +39,9 @@ type ThreeOpt struct {
 // NewThreeOpt creates a local search over matrix m with candidate lists nb
 // (pass nil to build default lists) starting from tour t. The tour is
 // copied.
-func NewThreeOpt(m *Matrix, nb *Neighbors, t Tour) *ThreeOpt {
+func NewThreeOpt(m Costs, nb *Neighbors, t Tour) *ThreeOpt {
 	if nb == nil {
-		nb = BuildNeighbors(m, DefaultNeighborCount, m.Forbid())
+		nb = BuildNeighbors(m, DefaultNeighborCount, ForbidCost(m))
 	}
 	n := m.Len()
 	o := &ThreeOpt{

@@ -135,7 +135,7 @@ func (t Tour) Clone() Tour {
 
 // CycleCost returns the cost of traversing t as a directed cycle under m:
 // the sum of m.At(t[k], t[k+1]) plus the closing edge.
-func CycleCost(m *Matrix, t Tour) Cost {
+func CycleCost(m Costs, t Tour) Cost {
 	if len(t) == 0 {
 		return 0
 	}
@@ -149,7 +149,7 @@ func CycleCost(m *Matrix, t Tour) Cost {
 
 // PathCost returns the cost of traversing t as a directed open walk under
 // m (no closing edge).
-func PathCost(m *Matrix, t Tour) Cost {
+func PathCost(m Costs, t Tour) Cost {
 	var sum Cost
 	for k := 0; k+1 < len(t); k++ {
 		sum += m.At(t[k], t[k+1])

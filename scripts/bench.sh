@@ -1,0 +1,61 @@
+#!/bin/sh
+# Benchmark snapshot tool: run the top-level benchmark suite and record
+# the numbers as results/BENCH_<label>.json (one object per benchmark,
+# plus the commit and date the snapshot was taken at). Usage:
+#
+#   scripts/bench.sh <label> [bench-regex]
+#
+# e.g. the dense-vs-sparse kernel comparison recorded in results/:
+#
+#   scripts/bench.sh baseline '//dense'
+#   scripts/bench.sh sparse   '//sparse'
+#
+# BENCHTIME overrides -benchtime (default 20x: the sparse/dense kernel
+# benchmarks are deterministic per iteration, so a fixed iteration count
+# keeps large and small instances comparable).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label=${1?"usage: scripts/bench.sh <label> [bench-regex]"}
+regex=${2:-.}
+benchtime=${BENCHTIME:-20x}
+
+mkdir -p results
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" -timeout 60m . | tee "$raw"
+
+{
+	printf '{\n'
+	printf '  "label": "%s",\n' "$label"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			iters = $2
+			ns = $3
+			bytes = ""; allocs = ""
+			for (i = 4; i < NF; i++) {
+				if ($(i + 1) == "B/op") bytes = $i
+				if ($(i + 1) == "allocs/op") allocs = $i
+			}
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+			if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+			if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+			line = line "}"
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { if (n) printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"results/BENCH_${label}.json"
+
+echo "wrote results/BENCH_${label}.json"
