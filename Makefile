@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race vet-benchmarks bench bench-snapshot clean
+.PHONY: ci fmt vet build test race race-obs vet-benchmarks bench bench-snapshot trace-demo clean
 
-ci: fmt vet build race vet-benchmarks
+ci: fmt vet build race-obs race vet-benchmarks
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -28,6 +28,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Extra passes over the packages with real concurrency: the telemetry
+# registry (spans end on multiple goroutines) and the parallel solver.
+race-obs:
+	$(GO) test -race -count=2 ./internal/obs/ ./internal/tsp/
+
 # Run the pipeline-wide invariant checker over every bundled benchmark.
 vet-benchmarks:
 	$(GO) run ./cmd/balign vet -all
@@ -43,6 +48,13 @@ LABEL ?= local
 BENCH ?= .
 bench-snapshot:
 	scripts/bench.sh $(LABEL) '$(BENCH)'
+
+# Record a full telemetry trace of a benchmark run and render the
+# per-function convergence report from it.
+TRACE ?= /tmp/balign-trace.ndjson
+trace-demo:
+	$(GO) run ./cmd/balign -bench compress -sim -bound -trace $(TRACE)
+	$(GO) run ./cmd/balign report -in $(TRACE)
 
 clean:
 	$(GO) clean ./...

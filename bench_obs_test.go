@@ -1,0 +1,106 @@
+// Telemetry overhead benchmarks: the obs tracer's contract is that a
+// nil span costs nothing on the solver hot path, so instrumented code
+// never needs a separate uninstrumented build. Each family runs the
+// same work with tracing off (nil span) and on (in-memory sink):
+//
+//	go test -run '^$' -bench Telemetry -benchmem .
+//
+// The "off" numbers should match the pre-instrumentation solver within
+// benchmark noise, and "off" must not allocate on behalf of telemetry.
+package branchalign
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchalign/internal/align"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/obs"
+	"branchalign/internal/tsp"
+)
+
+// solveInstance builds the largest bundled function's DTSP instance —
+// the 3-Opt inner loop dominates its solve time, which is exactly the
+// path the disabled tracer must not slow down.
+func solveInstance(b *testing.B) (*tsp.SparseMatrix, tsp.SolveOptions) {
+	b.Helper()
+	f, fp := largestBundledFunc(b)
+	m := machine.Alpha21164()
+	mat := align.BuildSparseMatrix(f, fp, layout.Predictions(f, fp), m)
+	return mat, tsp.PaperSolveOptions(1)
+}
+
+func BenchmarkSolveTelemetry(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		mat, opt := solveInstance(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tsp.Solve(mat, opt)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		mat, opt := solveInstance(b)
+		tr := obs.New(&obs.MemorySink{})
+		root := tr.Start("bench")
+		opt.Obs = root
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tsp.Solve(mat, opt)
+		}
+		b.StopTimer()
+		root.End()
+		tr.Close()
+	})
+}
+
+// BenchmarkHeldKarpTelemetry measures the subgradient driver, whose
+// per-iteration span/series calls are the densest telemetry call sites
+// outside the 3-Opt loop.
+func BenchmarkHeldKarpTelemetry(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	n := 60
+	m := tsp.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, tsp.Cost(1+rng.Intn(1000)))
+			}
+		}
+	}
+	opt := tsp.HeldKarpOptions{Iterations: 100}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tsp.HeldKarpDirected(m, opt)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		tr := obs.New(&obs.MemorySink{})
+		root := tr.Start("bench")
+		o := opt
+		o.Obs = root
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tsp.HeldKarpDirected(m, o)
+		}
+		b.StopTimer()
+		root.End()
+		tr.Close()
+	})
+}
+
+// BenchmarkDisabledSpanOps pins the cost of the nil fast path itself:
+// every obs entry point on a disabled tracer should be a couple of
+// nil checks, with zero allocations.
+func BenchmarkDisabledSpanOps(b *testing.B) {
+	var tr *obs.Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("x", obs.Int("i", int64(i)))
+		child := sp.Child("y")
+		child.Count("c", 1)
+		child.Series("s").Add(int64(i), 1.5)
+		child.End()
+		sp.End(obs.Float("v", 2.5))
+	}
+}

@@ -13,6 +13,17 @@
 //	balign vet -bench compress
 //	balign vet -all -v
 //
+// The `report` subcommand renders per-function solver convergence tables
+// (tour cost, Held-Karp bound, gap) from a live run or a recorded trace:
+//
+//	balign report -bench compress
+//	balign report -in trace.ndjson
+//
+// With -trace, the main driver exports the full telemetry of the run —
+// pipeline-stage spans, solver convergence series, counters — as NDJSON:
+//
+//	balign -bench compress -sim -bound -trace trace.ndjson
+//
 // The entry function must be main with signature (), (n) or (input[], n).
 package main
 
@@ -32,6 +43,7 @@ import (
 	"branchalign/internal/lower"
 	"branchalign/internal/machine"
 	"branchalign/internal/minic"
+	"branchalign/internal/obs"
 	"branchalign/internal/opt"
 	"branchalign/internal/pipe"
 	"branchalign/internal/stats"
@@ -41,6 +53,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(runVet(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		os.Exit(runReport(os.Args[2:]))
 	}
 	var (
 		srcPath   = flag.String("src", "", "Mini-C source file to align")
@@ -66,8 +81,31 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "report fall-through/taken/fixup transfer rates per aligner")
 		listing   = flag.String("listing", "", "print the named function's laid-out pseudo-assembly per aligner")
 		loops     = flag.Bool("loops", false, "report loop structure (dominators + natural loops) per function")
+		tracePath = flag.String("trace", "", "export run telemetry (spans, convergence series, counters) as NDJSON")
 	)
 	flag.Parse()
+
+	// Telemetry: a nil root span (no -trace) disables every obs call site
+	// downstream at zero cost.
+	var (
+		root      *obs.Span
+		traceT    *obs.Trace
+		traceSink *obs.NDJSONSink
+		traceFile *os.File
+	)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		traceSink = obs.NewNDJSONSink(f)
+		traceT = obs.New(traceSink)
+		root = traceT.Start("balign",
+			obs.String("aligner", *alignSel),
+			obs.String("model", *modelSel),
+			obs.Int("seed", *seed))
+	}
 
 	mod, inputs, err := loadProgram(*srcPath, *benchName, *dataset, *data, *scalarN)
 	if err != nil {
@@ -99,11 +137,13 @@ func main() {
 		}
 		fmt.Printf("loaded profile from %s (%d branch sites touched)\n", *profIn, prof.BranchSitesTouched(mod))
 	} else {
+		psp := root.Child("profile")
 		prof = interp.NewProfile(mod)
 		res, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 31})
 		if err != nil {
 			fatal(fmt.Errorf("profiling run failed: %w", err))
 		}
+		psp.End(obs.Int("steps", res.Steps), obs.Int("dyn_branches", res.DynBranches()))
 		fmt.Printf("profiled: %d IR instructions, %d dynamic branches, %d branch sites touched, ret=%d\n",
 			res.Steps, res.DynBranches(), prof.BranchSitesTouched(mod), res.Ret)
 	}
@@ -153,17 +193,27 @@ func main() {
 		simCfg.Predictor = pipe.PredictorConfig{Kind: pipe.PredictTwoBit}
 	}
 	if *sim {
+		rsp := root.Child("record")
 		trace, _, err = pipe.Record(mod, inputs, interp.Options{MaxSteps: 1 << 31})
 		if err != nil {
 			fatal(err)
 		}
-		st := pipe.Replay(trace, mod, origLayout, simCfg)
+		rsp.End(obs.Int("trace_events", int64(trace.Len())))
+		ssp := root.Child("simulate", obs.String("aligner", "original"))
+		cfg := simCfg
+		cfg.Obs = ssp
+		st := pipe.Replay(trace, mod, origLayout, cfg)
+		ssp.End(obs.Int("cycles", int64(st.Cycles)))
 		origCycles = st.Cycles
 	}
 
 	table := stats.NewTable("aligner", "control penalty", "normalized", "cycles", "time vs original")
 	table.Rowf("original|%d|1.000|%s|1.0000", origCP, cyclesCell(*sim, origCycles))
 	for _, a := range aligners {
+		asp := root.Child("align", obs.String("aligner", a.Name()))
+		if t, ok := a.(*align.TSP); ok {
+			t.Obs = asp
+		}
 		l := a.Align(mod, prof, model)
 		if err := l.Validate(mod); err != nil {
 			fatal(fmt.Errorf("%s produced an invalid layout: %w", a.Name(), err))
@@ -180,9 +230,14 @@ func main() {
 			fmt.Printf("wrote %s layout to %s\n", a.Name(), *layoutOut)
 		}
 		cp := layout.ModulePenalty(mod, l, prof, model)
+		asp.End(obs.Int("control_penalty", int64(cp)))
 		cycleCell, timeCell := "-", "-"
 		if *sim {
-			st := pipe.Replay(trace, mod, l, simCfg)
+			ssp := root.Child("simulate", obs.String("aligner", a.Name()))
+			cfg := simCfg
+			cfg.Obs = ssp
+			st := pipe.Replay(trace, mod, l, cfg)
+			ssp.End(obs.Int("cycles", int64(st.Cycles)))
 			cycleCell = fmt.Sprintf("%d", st.Cycles)
 			timeCell = fmt.Sprintf("%.4f", float64(st.Cycles)/float64(origCycles))
 		}
@@ -208,11 +263,23 @@ func main() {
 		}
 	}
 	if *bound {
-		hk := align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: 3000})
+		bsp := root.Child("bound")
+		hk := align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: 3000, Obs: bsp})
+		bsp.End(obs.Int("bound", int64(hk)))
 		table.Rowf("lower bound|%d|%.3f|-|-", hk, stats.Ratio(hk, origCP, 1))
 	}
 	fmt.Println()
 	fmt.Print(table.String())
+	if traceT != nil {
+		root.End()
+		if err := traceT.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"branchalign/internal/align"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/obs"
+	"branchalign/internal/stats"
+	"branchalign/internal/tsp"
+)
+
+// runReport implements `balign report`: a per-function convergence table
+// for the TSP aligner — cities, final tour cost, Held-Karp lower bound,
+// optimality gap, and local-search effort. The table is rendered either
+// from a recorded NDJSON trace (-in, as written by `balign -trace`) or
+// from a fresh in-process run of the solver and bound over a program.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("balign report", flag.ExitOnError)
+	var (
+		in        = fs.String("in", "", "render from a recorded NDJSON trace instead of running the pipeline")
+		srcPath   = fs.String("src", "", "Mini-C source file to align")
+		data      = fs.String("data", "", "comma-separated ints for the entry array input")
+		scalarN   = fs.Int64("n", -1, "entry scalar argument (default: array length)")
+		benchName = fs.String("bench", "", "use a built-in benchmark instead of -src")
+		dataset   = fs.String("dataset", "", "benchmark data set name (with -bench)")
+		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
+		seed      = fs.Int64("seed", 1, "solver seed")
+		hkIters   = fs.Int("hk-iters", 3000, "Held-Karp subgradient iterations")
+	)
+	fs.Parse(args)
+
+	var events []obs.Event
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balign report:", err)
+			return 1
+		}
+		events, err = obs.ReadEvents(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "balign report: reading %s: %v\n", *in, err)
+			return 1
+		}
+	} else {
+		var err error
+		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *seed, *hkIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balign report:", err)
+			return 1
+		}
+	}
+	fmt.Print(renderReport(events))
+	return 0
+}
+
+// reportRun executes the profile -> TSP-align -> Held-Karp pipeline with
+// an in-memory telemetry sink and returns the collected events.
+func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel string, seed int64, hkIters int) ([]obs.Event, error) {
+	mod, inputs, err := loadProgram(srcPath, benchName, dataset, data, scalarN)
+	if err != nil {
+		return nil, err
+	}
+	model, err := pickModel(modelSel)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileProgram(mod, inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	sink := &obs.MemorySink{}
+	tr := obs.New(sink)
+	root := tr.Start("balign.report", obs.String("model", modelSel), obs.Int("seed", seed))
+	aligner := align.NewTSP(seed)
+	aligner.Parallel = true
+	aligner.Obs = root
+	aligner.Align(mod, prof, model)
+	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: hkIters, Obs: root})
+	root.End()
+	if err := tr.Close(); err != nil {
+		return nil, err
+	}
+	return sink.Events(), nil
+}
+
+// profileProgram runs the training execution and returns the profile.
+func profileProgram(mod *ir.Module, inputs []interp.Input) (*interp.Profile, error) {
+	prof := interp.NewProfile(mod)
+	if _, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 31}); err != nil {
+		return nil, fmt.Errorf("profiling run failed: %w", err)
+	}
+	return prof, nil
+}
+
+// reportRow is one function's joined solver + bound telemetry.
+type reportRow struct {
+	fn       string
+	cities   int64
+	cost     int64
+	bound    int64
+	hasHK    bool
+	exact    bool
+	runs     int64
+	runsBest int64
+	iterBest int64
+	tried    int64
+	accepted int64
+}
+
+// renderReport joins "align.func" and "align.hk" spans by function name
+// and renders the convergence table. Functions are ordered by descending
+// tour cost (heaviest instances first), then by name, so the output is
+// deterministic even when the solves ran in parallel.
+func renderReport(events []obs.Event) string {
+	rows := map[string]*reportRow{}
+	get := func(fn string) *reportRow {
+		r, ok := rows[fn]
+		if !ok {
+			r = &reportRow{fn: fn}
+			rows[fn] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		if e.Type != "span" {
+			continue
+		}
+		switch e.Name {
+		case "align.func":
+			r := get(e.Str("func"))
+			r.cities = e.Int("cities")
+			r.cost = e.Int("cost")
+			r.exact = e.Bool("exact")
+			r.runs = e.Int("runs")
+			r.runsBest = e.Int("runs_at_best")
+			r.iterBest = e.Int("iter_best")
+			r.tried = e.Int("moves_tried")
+			r.accepted = e.Int("moves_accepted")
+		case "align.hk":
+			r := get(e.Str("func"))
+			r.bound = e.Int("bound")
+			r.hasHK = true
+		}
+	}
+	if len(rows) == 0 {
+		return "no align.func/align.hk spans in trace (was the run recorded with -trace, tsp aligner and -bound?)\n"
+	}
+	ordered := make([]*reportRow, 0, len(rows))
+	for _, r := range rows {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].cost != ordered[j].cost {
+			return ordered[i].cost > ordered[j].cost
+		}
+		return ordered[i].fn < ordered[j].fn
+	})
+
+	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "moves acc/tried")
+	var tot reportRow
+	allHK := true
+	for _, r := range ordered {
+		bound, gap := "-", "-"
+		if r.hasHK {
+			bound = fmt.Sprintf("%d", r.bound)
+			gap = fmt.Sprintf("%.2f", gapPct(r.cost, r.bound))
+		} else {
+			allHK = false
+		}
+		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s",
+			r.fn, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
+			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried))
+		tot.cities += r.cities
+		tot.cost += r.cost
+		tot.bound += r.bound
+		tot.tried += r.tried
+		tot.accepted += r.accepted
+	}
+	if len(ordered) > 1 {
+		bound, gap := "-", "-"
+		if allHK {
+			bound = fmt.Sprintf("%d", tot.bound)
+			gap = fmt.Sprintf("%.2f", gapPct(tot.cost, tot.bound))
+		}
+		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s",
+			len(ordered), tot.cities, tot.cost, bound, gap,
+			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried))
+	}
+	return table.String()
+}
+
+// gapPct is the relative optimality gap (tour - bound) / tour in percent,
+// clamped at zero (the bound never exceeds the tour, but rounding can
+// graze it).
+func gapPct(cost, bound int64) float64 {
+	if cost <= 0 {
+		return 0
+	}
+	g := float64(cost-bound) / float64(cost) * 100
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"branchalign/internal/obs"
+)
+
+// span builds a minimal span event the way a JSON round-trip would
+// deliver it (numbers as float64), so renderReport's attr decoding is
+// exercised the same way `report -in` exercises it.
+func span(name string, attrs map[string]any) obs.Event {
+	return obs.Event{Type: "span", Name: name, Attrs: attrs}
+}
+
+func TestRenderReportJoinsSolveAndBound(t *testing.T) {
+	events := []obs.Event{
+		span("align.func", map[string]any{
+			"func": "hot", "cities": float64(20), "cost": float64(1000), "exact": false,
+			"runs": float64(10), "runs_at_best": float64(3), "iter_best": float64(2),
+			"moves_tried": float64(500), "moves_accepted": float64(40),
+		}),
+		span("align.hk", map[string]any{"func": "hot", "bound": float64(900)}),
+		span("align.func", map[string]any{
+			"func": "cold", "cities": float64(5), "cost": float64(10), "exact": true,
+			"runs": float64(1), "runs_at_best": float64(1),
+		}),
+		span("align.hk", map[string]any{"func": "cold", "bound": float64(10)}),
+		// Unrelated events must be ignored.
+		span("tsp.run", map[string]any{"cost": float64(7)}),
+		{Type: "counter", Name: "tsp.kicks", Count: 3},
+	}
+	out := renderReport(events)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header, rule, two functions, total
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Ordered by descending cost: hot before cold.
+	if !strings.Contains(lines[2], "hot") || !strings.Contains(lines[3], "cold") {
+		t.Errorf("rows not ordered by cost:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "10.00") {
+		t.Errorf("hot gap (1000 vs 900) should render 10.00:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "0.00") {
+		t.Errorf("cold gap should be 0.00:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "total (2)") || !strings.Contains(lines[4], "1010") ||
+		!strings.Contains(lines[4], "910") {
+		t.Errorf("total row wrong:\n%s", out)
+	}
+}
+
+func TestRenderReportMissingBound(t *testing.T) {
+	out := renderReport([]obs.Event{
+		span("align.func", map[string]any{"func": "f", "cities": float64(4), "cost": float64(5)}),
+	})
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing bound should render as '-':\n%s", out)
+	}
+	if empty := renderReport(nil); !strings.Contains(empty, "no align.func") {
+		t.Errorf("empty trace should explain itself, got:\n%s", empty)
+	}
+}
+
+// TestReportRunEndToEnd drives the in-process pipeline of `balign
+// report` on a bundled benchmark and checks the solver and bound
+// telemetry join into a plausible table.
+func TestReportRunEndToEnd(t *testing.T) {
+	events, err := reportRun("", "compress", "", "", -1, "alpha21164", 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderReport(events)
+	if !strings.Contains(out, "main") || !strings.Contains(out, "total (") {
+		t.Errorf("report missing expected rows:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "-1") {
+			t.Errorf("negative cell in report:\n%s", out)
+		}
+	}
+}

@@ -24,112 +24,166 @@ import (
 
 	"branchalign/internal/core"
 	"branchalign/internal/machine"
+	"branchalign/internal/obs"
 	"branchalign/internal/pipe"
 	"branchalign/internal/stats"
 )
 
+// runOpts carries the parsed command line into run, which owns all
+// resources (profiles, telemetry files) so that every exit path flushes
+// them — os.Exit in main would skip deferred cleanup.
+type runOpts struct {
+	table1, table2, table3, table4 bool
+	fig2, fig3, appendix, ext, all bool
+	seed                           int64
+	benchSel, modelSel             string
+	synth                          int
+	cpuProf, memProf, events       string
+}
+
 func main() {
-	var (
-		table1   = flag.Bool("table1", false, "benchmark inventory (Table 1)")
-		table2   = flag.Bool("table2", false, "phase times (Table 2)")
-		table3   = flag.Bool("table3", false, "penalty model (Table 3)")
-		table4   = flag.Bool("table4", false, "original penalties and bounds (Table 4)")
-		fig2     = flag.Bool("fig2", false, "same-input experiment (Figure 2)")
-		fig3     = flag.Bool("fig3", false, "cross-validation (Figure 3)")
-		appendix = flag.Bool("appendix", false, "per-procedure DTSP statistics (Appendix)")
-		ext      = flag.Bool("ext", false, "extensions: cache-aware weights, procedure ordering, dynamic prediction")
-		all      = flag.Bool("all", false, "run everything")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		benchSel = flag.String("benchmarks", "", "comma-separated benchmark names/abbrs (default: all)")
-		modelSel = flag.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
-		synth    = flag.Int("synth", 0, "add N synthetic instances to -appendix")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-	)
+	var o runOpts
+	flag.BoolVar(&o.table1, "table1", false, "benchmark inventory (Table 1)")
+	flag.BoolVar(&o.table2, "table2", false, "phase times (Table 2)")
+	flag.BoolVar(&o.table3, "table3", false, "penalty model (Table 3)")
+	flag.BoolVar(&o.table4, "table4", false, "original penalties and bounds (Table 4)")
+	flag.BoolVar(&o.fig2, "fig2", false, "same-input experiment (Figure 2)")
+	flag.BoolVar(&o.fig3, "fig3", false, "cross-validation (Figure 3)")
+	flag.BoolVar(&o.appendix, "appendix", false, "per-procedure DTSP statistics (Appendix)")
+	flag.BoolVar(&o.ext, "ext", false, "extensions: cache-aware weights, procedure ordering, dynamic prediction")
+	flag.BoolVar(&o.all, "all", false, "run everything")
+	flag.Int64Var(&o.seed, "seed", 1, "deterministic seed")
+	flag.StringVar(&o.benchSel, "benchmarks", "", "comma-separated benchmark names/abbrs (default: all)")
+	flag.StringVar(&o.modelSel, "model", "alpha21164", "machine model: alpha21164, shallow, deep")
+	flag.IntVar(&o.synth, "synth", 0, "add N synthetic instances to -appendix")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.StringVar(&o.events, "events", "", "export suite telemetry (stage spans, solver convergence) as NDJSON")
 	flag.Parse()
-	if !(*table1 || *table2 || *table3 || *table4 || *fig2 || *fig3 || *appendix || *ext || *all) {
+	if !(o.table1 || o.table2 || o.table3 || o.table4 || o.fig2 || o.fig3 || o.appendix || o.ext || o.all) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
-	if *memProf != "" {
+}
+
+// run executes the selected experiments. Profile and telemetry teardown
+// happens in defers so that error returns still produce valid files
+// (the old structure lost both profiles whenever an experiment failed,
+// because fatal's os.Exit skipped the deferred writers).
+func run(o runOpts) (err error) {
+	if o.cpuProf != "" {
+		f, ferr := os.Create(o.cpuProf)
+		if ferr != nil {
+			return ferr
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return perr
+		}
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fatal(err)
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if o.memProf != "" {
+		defer func() {
+			f, ferr := os.Create(o.memProf)
+			if ferr != nil {
+				if err == nil {
+					err = ferr
+				}
+				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize final live-heap statistics
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = werr
 			}
 		}()
 	}
 
-	s := core.NewSuite(*seed)
-	if *benchSel != "" {
-		if _, err := s.WithBenchmarks(strings.Split(*benchSel, ",")...); err != nil {
-			fatal(err)
+	s := core.NewSuite(o.seed)
+	if o.events != "" {
+		f, ferr := os.Create(o.events)
+		if ferr != nil {
+			return ferr
+		}
+		sink := obs.NewNDJSONSink(f)
+		tr := obs.New(sink)
+		root := tr.Start("experiments", obs.Int("seed", o.seed), obs.String("model", o.modelSel))
+		s.Obs = root
+		defer func() {
+			root.End()
+			if cerr := tr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %d telemetry events to %s\n", sink.Count(), o.events)
+		}()
+	}
+	if o.benchSel != "" {
+		if _, werr := s.WithBenchmarks(strings.Split(o.benchSel, ",")...); werr != nil {
+			return werr
 		}
 	}
 	found := false
 	for _, m := range machine.Models() {
-		if m.Name == *modelSel {
+		if m.Name == o.modelSel {
 			s.Model = m
 			found = true
 		}
 	}
 	if !found {
-		fatal(fmt.Errorf("unknown model %q", *modelSel))
+		return fmt.Errorf("unknown model %q", o.modelSel)
 	}
 
-	if *all || *table3 {
+	if o.all || o.table3 {
 		printTable3(s)
 	}
-	if *all || *table1 {
+	if o.all || o.table1 {
 		if err := printTable1(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *all || *table2 {
+	if o.all || o.table2 {
 		if err := printTable2(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *all || *table4 {
+	if o.all || o.table4 {
 		if err := printTable4(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *all || *fig2 {
+	if o.all || o.fig2 {
 		if err := printFig2(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *all || *fig3 {
+	if o.all || o.fig3 {
 		if err := printFig3(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *all || *appendix {
-		if err := printAppendix(s, *synth); err != nil {
-			fatal(err)
+	if o.all || o.appendix {
+		if err := printAppendix(s, o.synth); err != nil {
+			return err
 		}
 	}
-	if *all || *ext {
+	if o.all || o.ext {
 		if err := printExtensions(s); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 func printExtensions(s *core.Suite) error {
@@ -196,11 +250,6 @@ func printExtensions(s *core.Suite) error {
 	}
 	fmt.Println(t)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }
 
 func printTable3(s *core.Suite) {

@@ -8,6 +8,7 @@ import (
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
 	"branchalign/internal/machine"
+	"branchalign/internal/obs"
 	"branchalign/internal/tsp"
 )
 
@@ -108,6 +109,12 @@ type TSP struct {
 	// independent and each gets its own deterministic seed, so the result
 	// is bit-identical to the sequential run.
 	Parallel bool
+	// Obs, when non-nil, is the parent span per-function solver telemetry
+	// is recorded under: one "align.func" span per function (matrix
+	// build, per-row exception histogram, tsp.solve sub-spans with
+	// convergence series). Safe with Parallel — spans are created
+	// concurrently under the shared parent. Nil records nothing.
+	Obs *obs.Span
 }
 
 // NewTSP returns a TSP aligner with the paper's solver protocol.
@@ -156,6 +163,11 @@ type AlignFuncResult struct {
 	Exact      bool
 	Runs       int
 	RunsAtBest int
+	// IterationsToBest is the kick iteration at which the winning run
+	// found the final tour; MovesTried/MovesAccepted total the 3-opt
+	// moves examined and applied across all runs (see tsp.Result).
+	IterationsToBest          int
+	MovesTried, MovesAccepted int64
 }
 
 func (t *TSP) alignFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) []int {
@@ -168,16 +180,27 @@ func (t *TSP) alignFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) AlignFuncResult {
 	n := len(f.Blocks)
 	out := AlignFuncResult{Cities: n}
+	sp := t.Obs.Child("align.func", obs.String("func", f.Name), obs.Int("cities", int64(n)))
 	if n == 1 {
 		out.Order = []int{0}
 		out.Exact = true
 		out.Runs = 1
 		out.RunsAtBest = 1
+		sp.End(obs.Int("cost", 0), obs.Bool("exact", true))
 		return out
 	}
 	pred := layout.Predictions(f, fp)
+	bm := sp.Child("align.build_matrix")
 	mat := BuildSparseMatrix(f, fp, pred, m)
+	if bm != nil {
+		bm.End(obs.Int("exceptions", int64(mat.Exceptions())))
+		for b := 0; b < n; b++ {
+			cols, _ := mat.Row(b)
+			sp.Observe("align.row_exceptions", float64(len(cols)))
+		}
+	}
 	opts.Seed += seedOffset
+	opts.Obs = sp
 	res := tsp.Solve(mat, opts)
 	res.Tour.RotateTo(0)
 	out.Order = res.Tour
@@ -185,6 +208,13 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 	out.Exact = res.Exact
 	out.Runs = res.Runs
 	out.RunsAtBest = res.RunsAtBest
+	out.IterationsToBest = res.IterationsToBest
+	out.MovesTried = res.MovesTried
+	out.MovesAccepted = res.MovesAccepted
+	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", res.Exact),
+		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
+		obs.Int("iter_best", int64(res.IterationsToBest)),
+		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted))
 	return out
 }
 
@@ -228,21 +258,27 @@ func HeldKarpLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model, o
 
 // FuncHeldKarpBound computes the Held-Karp bound for a single function's
 // DTSP instance. Functions small enough for exact solving are bounded by
-// their true optimum.
+// their true optimum. When opts.Obs is set, the bound computation is
+// recorded as an "align.hk" span (with the subgradient trajectory
+// nested under it).
 func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.HeldKarpOptions) layout.Cost {
 	n := len(f.Blocks)
+	sp := opts.Obs.Child("align.hk", obs.String("func", f.Name), obs.Int("cities", int64(n)))
+	opts.Obs = sp
 	if n == 1 {
+		sp.End(obs.Int("bound", 0), obs.Bool("exact", true))
 		return 0
 	}
 	pred := layout.Predictions(f, fp)
 	mat := BuildSparseMatrix(f, fp, pred, m)
 	if n <= 12 {
 		_, opt := tsp.SolveExact(mat)
+		sp.End(obs.Int("bound", opt), obs.Bool("exact", true))
 		return opt
 	}
 	b := tsp.HeldKarpDirected(mat, opts)
 	if b < 0 {
-		return 0 // costs are non-negative; clamp numerical noise
+		b = 0 // costs are non-negative; clamp numerical noise
 	}
 	// The bound is valid, and penalties are integral, so rounding up
 	// keeps it valid while tightening it.
@@ -250,6 +286,7 @@ func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts
 	if float64(c) < b {
 		c++
 	}
+	sp.End(obs.Int("bound", int64(c)))
 	return c
 }
 

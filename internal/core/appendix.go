@@ -57,6 +57,8 @@ type AppendixStats struct {
 func (s *Suite) Appendix() (*AppendixStats, error) {
 	out := &AppendixStats{}
 	tspAligner := align.NewTSP(s.Seed)
+	tspAligner.Obs = s.Obs
+	hkOpts := s.hkOpts()
 	for _, b := range s.benchmarks {
 		mod, err := s.Module(b)
 		if err != nil {
@@ -80,7 +82,7 @@ func (s *Suite) Appendix() (*AppendixStats, error) {
 				Exact:      res.Exact,
 				Runs:       res.Runs,
 				RunsAtBest: res.RunsAtBest,
-				HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[fi], s.Model, s.HKOpts),
+				HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[fi], s.Model, hkOpts),
 			}
 			mat := align.BuildSparseMatrixForFunc(f, prof.Funcs[fi], s.Model)
 			inst.APBound = tsp.AssignmentBound(mat)
@@ -97,6 +99,8 @@ func (s *Suite) Appendix() (*AppendixStats, error) {
 func (s *Suite) AppendixSynthetic(count, blocks int) (*AppendixStats, error) {
 	out := &AppendixStats{}
 	tspAligner := align.NewTSP(s.Seed)
+	tspAligner.Obs = s.Obs
+	hkOpts := s.hkOpts()
 	for i := 0; i < count; i++ {
 		mod, prof, err := bench.Synthesize(bench.DefaultSynth(blocks, s.Seed+int64(i)*977))
 		if err != nil {
@@ -112,7 +116,7 @@ func (s *Suite) AppendixSynthetic(count, blocks int) (*AppendixStats, error) {
 			Exact:      res.Exact,
 			Runs:       res.Runs,
 			RunsAtBest: res.RunsAtBest,
-			HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[0], s.Model, s.HKOpts),
+			HKBound:    align.FuncHeldKarpBound(f, prof.Funcs[0], s.Model, hkOpts),
 		}
 		mat := align.BuildSparseMatrixForFunc(f, prof.Funcs[0], s.Model)
 		inst.APBound = tsp.AssignmentBound(mat)

@@ -14,6 +14,7 @@ import (
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
 	"branchalign/internal/machine"
+	"branchalign/internal/obs"
 	"branchalign/internal/pipe"
 	"branchalign/internal/tsp"
 )
@@ -34,6 +35,11 @@ type Suite struct {
 	HKOpts tsp.HeldKarpOptions
 	// MaxSteps bounds each profiling/tracing interpreter run.
 	MaxSteps int64
+	// Obs, when non-nil, is the parent span the suite's pipeline stages
+	// report telemetry under (profiling and trace-recording runs, the
+	// TSP aligner's per-function solves, Held-Karp bounds, simulations).
+	// cmd/experiments -events wires this to an NDJSON trace.
+	Obs *obs.Span
 
 	benchmarks []*bench.Benchmark
 	mods       map[string]*ir.Module
@@ -101,6 +107,14 @@ func dsKey(b *bench.Benchmark, ds *bench.DataSet) string {
 	return b.Name + "." + ds.Name
 }
 
+// hkOpts returns the suite's Held-Karp options with its telemetry span
+// attached, so every experiment's bound computations are recorded.
+func (s *Suite) hkOpts() tsp.HeldKarpOptions {
+	o := s.HKOpts
+	o.Obs = s.Obs
+	return o
+}
+
 // ProfileOf runs (and caches) the profiling execution of b on ds — the
 // "instrumented program" run of the paper's methodology.
 func (s *Suite) ProfileOf(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profile, interp.Result, error) {
@@ -112,11 +126,14 @@ func (s *Suite) ProfileOf(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profil
 	if err != nil {
 		return nil, interp.Result{}, err
 	}
+	sp := s.Obs.Child("profile", obs.String("target", key))
 	prof := interp.NewProfile(mod)
 	res, err := interp.Run(mod, ds.Make(), interp.Options{Profile: prof, MaxSteps: s.MaxSteps})
 	if err != nil {
+		sp.End(obs.Bool("failed", true))
 		return nil, res, fmt.Errorf("core: profiling %s: %w", key, err)
 	}
+	sp.End(obs.Int("steps", res.Steps), obs.Int("dyn_branches", res.DynBranches()))
 	s.profiles[key] = &profileRun{prof: prof, res: res}
 	return prof, res, nil
 }
@@ -145,6 +162,7 @@ func (s *Suite) TraceOf(b *bench.Benchmark, ds *bench.DataSet) (*pipe.Trace, err
 func (s *Suite) Aligners() []align.Aligner {
 	tspAligner := align.NewTSP(s.Seed)
 	tspAligner.Parallel = true // bit-identical to sequential, faster
+	tspAligner.Obs = s.Obs
 	return []align.Aligner{
 		align.Original{},
 		align.PettisHansen{},
@@ -188,6 +206,6 @@ func (s *Suite) SimulateCycles(b *bench.Benchmark, ds *bench.DataSet, mod *ir.Mo
 	if err != nil {
 		return pipe.Stats{}, err
 	}
-	cfg := pipe.Config{Model: s.Model, Cache: s.Cache}
+	cfg := pipe.Config{Model: s.Model, Cache: s.Cache, Obs: s.Obs}
 	return pipe.Replay(tr, mod, l, cfg), nil
 }

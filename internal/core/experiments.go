@@ -149,7 +149,7 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 			}
 			orig := layout.Identity(mod, prof, s.Model)
 			cp := layout.ModulePenalty(mod, orig, prof, s.Model)
-			bound := align.HeldKarpLowerBound(mod, prof, s.Model, s.HKOpts)
+			bound := align.HeldKarpLowerBound(mod, prof, s.Model, s.hkOpts())
 			sim, err := s.SimulateCycles(b, ds, mod, orig)
 			if err != nil {
 				return nil, err
@@ -204,7 +204,7 @@ func (s *Suite) Fig2() ([]Fig2Row, error) {
 			origCP := layout.ModulePenalty(mod, layouts["original"], prof, s.Model)
 			greedyCP := layout.ModulePenalty(mod, layouts["greedy"], prof, s.Model)
 			tspCP := layout.ModulePenalty(mod, layouts["tsp"], prof, s.Model)
-			bound := align.HeldKarpLowerBound(mod, prof, s.Model, s.HKOpts)
+			bound := align.HeldKarpLowerBound(mod, prof, s.Model, s.hkOpts())
 
 			origSim, err := s.SimulateCycles(b, ds, mod, layouts["original"])
 			if err != nil {

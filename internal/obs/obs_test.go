@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestTrace returns a trace over a fresh MemorySink with a
+// deterministic clock advancing 1ms per reading.
+func newTestTrace() (*Trace, *MemorySink) {
+	sink := &MemorySink{}
+	tr := New(sink)
+	var tick atomic.Int64 // spans may be created concurrently
+	base := time.Unix(1000, 0)
+	tr.now = func() time.Time {
+		return base.Add(time.Duration(tick.Add(1)) * time.Millisecond)
+	}
+	tr.start = base
+	return tr, sink
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr, sink := newTestTrace()
+	root := tr.Start("root", String("k", "v"))
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.End(Int("depth", 3))
+	child.End()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := sink.Find("span", "")
+	if len(spans) != 3 {
+		t.Fatalf("got %d span events, want 3", len(spans))
+	}
+	byName := map[string]Event{}
+	for _, e := range spans {
+		byName[e.Name] = e
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Errorf("grand parent = %d, want child id %d", byName["grand"].Parent, byName["child"].ID)
+	}
+	if got := byName["grand"].Int("depth"); got != 3 {
+		t.Errorf("grand depth attr = %d, want 3", got)
+	}
+	if byName["root"].Str("k") != "v" {
+		t.Errorf("root attr k = %q, want v", byName["root"].Str("k"))
+	}
+	// Children end before parents, so spans arrive innermost-first.
+	if spans[0].Name != "grand" || spans[2].Name != "root" {
+		t.Errorf("span emission order wrong: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if byName["root"].DurUS <= 0 {
+		t.Errorf("root duration = %d, want > 0", byName["root"].DurUS)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr, sink := newTestTrace()
+	sp := tr.Start("once")
+	sp.End()
+	sp.End(Int("late", 1))
+	if got := len(sink.Find("span", "once")); got != 1 {
+		t.Fatalf("double End emitted %d events, want 1", got)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	tr, sink := newTestTrace()
+	sp := tr.Start("work")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp.Count("moves", 2)
+				tr.Count("moves", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	counters := sink.Find("counter", "moves")
+	if len(counters) != 1 {
+		t.Fatalf("got %d counter events, want 1 merged", len(counters))
+	}
+	if counters[0].Count != 8*100*3 {
+		t.Errorf("merged counter = %d, want %d", counters[0].Count, 8*100*3)
+	}
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	tr, sink := newTestTrace()
+	tr.Gauge("alpha", 2)
+	tr.Gauge("alpha", 0.5) // last write wins
+	for _, v := range []float64{0, 1, 2, 3, 5, 100} {
+		tr.Observe("row_exceptions", v)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g := sink.Find("gauge", "alpha")
+	if len(g) != 1 || g[0].Value != 0.5 {
+		t.Fatalf("gauge = %+v, want one event with value 0.5", g)
+	}
+	h := sink.Find("hist", "row_exceptions")
+	if len(h) != 1 {
+		t.Fatalf("got %d hist events, want 1", len(h))
+	}
+	e := h[0]
+	if e.Count != 6 || e.Float("min") != 0 || e.Float("max") != 100 {
+		t.Errorf("hist summary wrong: count=%d min=%v max=%v", e.Count, e.Float("min"), e.Float("max"))
+	}
+	// 0 and 1 -> le 1; 2 -> le 2; 3 -> le 4; 5 -> le 8; 100 -> le 128.
+	want := []Bucket{{1, 2}, {2, 1}, {4, 1}, {8, 1}, {128, 1}}
+	if len(e.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", e.Buckets, want)
+	}
+	for i, b := range want {
+		if e.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, e.Buckets[i], b)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	tr, sink := newTestTrace()
+	sp := tr.Start("run")
+	se := sp.Series("tour_cost")
+	se.Add(0, 50)
+	se.Add(3, 42)
+	empty := sp.Series("never_filled")
+	_ = empty
+	sp.End()
+	events := sink.Find("series", "")
+	if len(events) != 1 {
+		t.Fatalf("got %d series events, want 1 (empty series suppressed)", len(events))
+	}
+	e := events[0]
+	if e.Name != "tour_cost" || e.Parent == 0 {
+		t.Errorf("series event wrong: %+v", e)
+	}
+	if len(e.Points) != 2 || e.Points[1] != [2]float64{3, 42} {
+		t.Errorf("points = %v", e.Points)
+	}
+	if se.Len() != 2 {
+		t.Errorf("Len = %d, want 2", se.Len())
+	}
+}
+
+// TestDisabledNoOp pins the nil-receiver contract: the disabled tracer
+// accepts the full API without allocating or panicking.
+func TestDisabledNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil trace reports enabled")
+	}
+	if New(nil) != nil {
+		t.Error("New(nil) should return the disabled tracer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("root", Int("n", 1))
+		child := sp.Child("child")
+		child.Count("c", 1)
+		child.Observe("h", 2)
+		se := child.Series("s")
+		se.Add(1, 2)
+		if se.Len() != 0 {
+			t.Error("nil series has points")
+		}
+		child.SetAttrs(Bool("b", true))
+		child.End()
+		sp.End()
+		tr.Count("c", 1)
+		tr.Gauge("g", 1)
+		tr.Observe("h", 1)
+		if err := tr.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestEmitAfterCloseDropped(t *testing.T) {
+	tr, sink := newTestTrace()
+	sp := tr.Start("late")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	if got := sink.Len(); got != 0 {
+		t.Errorf("events after close = %d, want 0", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	tr := New(sink)
+	sp := tr.Start("solve", String("func", "main"), Int("cities", 17), Float("gap", 0.25), Bool("exact", false))
+	se := sp.Series("hk_bound")
+	se.Add(0, 10.5)
+	se.Add(1, 12)
+	sp.Count("kicks", 7)
+	sp.End(Int("cost", 42))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.Count() != 3 {
+		t.Fatalf("encoded %d events, want 3", sink.Count())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("NDJSON has %d lines, want 3:\n%s", lines, buf.String())
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	var span, series, counter *Event
+	for i := range events {
+		switch events[i].Type {
+		case "span":
+			span = &events[i]
+		case "series":
+			series = &events[i]
+		case "counter":
+			counter = &events[i]
+		}
+	}
+	if span == nil || series == nil || counter == nil {
+		t.Fatalf("missing event kinds in %+v", events)
+	}
+	if span.Str("func") != "main" || span.Int("cities") != 17 || span.Int("cost") != 42 {
+		t.Errorf("span attrs lost: %+v", span.Attrs)
+	}
+	if span.Float("gap") != 0.25 || span.Bool("exact") {
+		t.Errorf("typed attrs lost: %+v", span.Attrs)
+	}
+	if !span.Has("cities") || span.Has("absent") {
+		t.Error("Has wrong")
+	}
+	if series.Parent != span.ID || len(series.Points) != 2 || series.Points[0] != [2]float64{0, 10.5} {
+		t.Errorf("series lost: %+v", series)
+	}
+	if counter.Name != "kicks" || counter.Count != 7 {
+		t.Errorf("counter lost: %+v", counter)
+	}
+}
+
+func TestReadEventsBadInput(t *testing.T) {
+	events, err := ReadEvents(strings.NewReader("{\"type\":\"span\",\"name\":\"a\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("expected decode error")
+	}
+	if len(events) != 1 {
+		t.Errorf("got %d events before error, want 1", len(events))
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr, sink := newTestTrace()
+	root := tr.Start("align")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Child("align.func", Int("fn", int64(i)))
+			se := sp.Series("tour_cost")
+			se.Add(0, float64(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Find("span", "align.func")); got != 16 {
+		t.Errorf("got %d align.func spans, want 16", got)
+	}
+	seen := map[int64]bool{}
+	for _, e := range sink.Find("span", "") {
+		if seen[e.ID] {
+			t.Errorf("duplicate span id %d", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

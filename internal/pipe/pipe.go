@@ -24,6 +24,7 @@ import (
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
 	"branchalign/internal/machine"
+	"branchalign/internal/obs"
 )
 
 // Cost aliases the shared cycle type.
@@ -84,6 +85,12 @@ type Config struct {
 	// collects a profile, flow conservation is verified afterwards.
 	// Violations surface as errors from Run / RunChecked.
 	SelfCheck bool
+	// Obs, when non-nil, is the parent span simulation telemetry is
+	// recorded under: Run and Replay emit one span per simulation
+	// carrying the final Stats (cycles, CPI, cache miss rate,
+	// mispredicts). The simulator hot loop is not instrumented — the
+	// stats are accumulated anyway — so tracing costs nothing per event.
+	Obs *obs.Span
 }
 
 // place builds the placed module respecting Config.FuncOrder.
@@ -312,6 +319,35 @@ func (s *Simulator) OnEdge(fn, block, succIdx int) {
 // Stats returns the accumulated statistics.
 func (s *Simulator) Stats() Stats { return s.stats }
 
+// statsAttrs flattens simulation statistics into span attributes.
+func statsAttrs(st Stats) []obs.Attr {
+	return []obs.Attr{
+		obs.Int("cycles", int64(st.Cycles)),
+		obs.Int("instructions", st.Instructions),
+		obs.Int("control_penalty", int64(st.ControlPenalty)),
+		obs.Int("alignable_penalty", int64(st.AlignablePenalty)),
+		obs.Int("cache_accesses", st.CacheAccesses),
+		obs.Int("cache_misses", st.CacheMisses),
+		obs.Float("miss_rate", st.MissRate()),
+		obs.Float("cpi", st.CPI()),
+		obs.Int("fixup_jumps", st.FixupJumps),
+		obs.Int("cond_mispredicts", st.CondMispredicts),
+		obs.Int("multi_mispredicts", st.MultiMispredicts),
+		obs.Int("events", st.Events),
+	}
+}
+
+// endSim closes a simulation span with the final statistics and feeds
+// the trace-level cache counters.
+func endSim(sp *obs.Span, st Stats) {
+	if sp == nil {
+		return
+	}
+	sp.Count("pipe.cache_accesses", st.CacheAccesses)
+	sp.Count("pipe.cache_misses", st.CacheMisses)
+	sp.End(statsAttrs(st)...)
+}
+
 // Run interprets mod on inputs while simulating the given layout, and
 // returns the simulation statistics together with the interpreter result.
 //
@@ -329,18 +365,22 @@ func Run(mod *ir.Module, l *layout.Layout, inputs []interp.Input, cfg Config, op
 			opts.Profile = interp.NewProfile(mod)
 		}
 	}
+	sp := cfg.Obs.Child("pipe.run")
 	pm := cfg.place(mod, l)
 	sim := NewSimulator(pm, cfg)
 	opts.EdgeTrace = sim.OnEdge
 	res, err := interp.Run(mod, inputs, opts)
 	if err != nil {
+		sp.End(obs.Bool("failed", true))
 		return Stats{}, res, err
 	}
 	if cfg.SelfCheck {
 		if err := check.Flow(mod, opts.Profile).Err(); err != nil {
+			sp.End(obs.Bool("failed", true))
 			return Stats{}, res, fmt.Errorf("pipe: self-check after run: %w", err)
 		}
 	}
+	endSim(sp, sim.Stats())
 	return sim.Stats(), res, nil
 }
 
@@ -388,6 +428,7 @@ func Replay(tr *Trace, mod *ir.Module, l *layout.Layout, cfg Config) Stats {
 		}
 		return st
 	}
+	sp := cfg.Obs.Child("pipe.replay", obs.Int("trace_events", int64(tr.Len())))
 	pm := cfg.place(mod, l)
 	sim := NewSimulator(pm, cfg)
 	for _, e := range tr.events {
@@ -396,6 +437,7 @@ func Replay(tr *Trace, mod *ir.Module, l *layout.Layout, cfg Config) Stats {
 		succ := int(e&traceSuccMask) - 1
 		sim.OnEdge(fn, block, succ)
 	}
+	endSim(sp, sim.Stats())
 	return sim.Stats()
 }
 

@@ -94,3 +94,53 @@ func TestFormatCount(t *testing.T) {
 		}
 	}
 }
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.Row("x")                // short row: padded to the header's width
+	tb.Row("1", "2", "3", "4") // long row: widens the table
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	// Every rendered row spans the same number of columns.
+	w := len(lines[3])
+	for _, l := range []string{lines[0], lines[2]} {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("row wider than widest row:\n%s", s)
+		}
+	}
+	if !strings.Contains(lines[3], "4") {
+		t.Errorf("extra cell dropped:\n%s", s)
+	}
+}
+
+func TestTableHeaderOnly(t *testing.T) {
+	s := NewTable("only", "header").String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header-only table wrong:\n%s", s)
+	}
+	// Separator exactly spans the header.
+	if len(lines[1]) != len(strings.TrimRight(lines[0], " ")) {
+		t.Errorf("separator width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+}
+
+func TestFormatCountBoundaries(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		9_999:      "9999",
+		10_000:     "10.0K",
+		999_999:    "1000.0K",
+		1_000_000:  "1.00M",
+		9_999_999:  "10.00M",
+		10_000_000: "10.0M",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

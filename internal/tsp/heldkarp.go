@@ -1,6 +1,10 @@
 package tsp
 
-import "math"
+import (
+	"math"
+
+	"branchalign/internal/obs"
+)
 
 // HeldKarpOptions configures the Lagrangian subgradient ascent used to
 // compute the Held-Karp lower bound.
@@ -13,6 +17,11 @@ type HeldKarpOptions struct {
 	UpperBound Cost
 	// InitialAlpha is the initial step-size multiplier (default 2).
 	InitialAlpha float64
+	// Obs, when non-nil, is the parent span the subgradient ascent
+	// records its telemetry under: a "tsp.heldkarp" child span carrying
+	// the bound trajectory ("hk_bound", one point per improving iterate)
+	// and step-size series ("hk_step"). Nil records nothing.
+	Obs *obs.Span
 }
 
 // hkSchedule returns the iteration count and step-halving period shared
@@ -62,11 +71,17 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 		alpha = 2
 	}
 
+	sp := opt.Obs.Child("tsp.heldkarp_sym", obs.Int("nodes", int64(n)))
+	boundSeries := sp.Series("hk_bound")
+	stepSeries := sp.Series("hk_step")
+
 	pi := make([]float64, n)
 	deg := make([]int, n)
 	ws := newOneTreeWorkspace(n)
 	best := math.Inf(-1)
+	done := 0
 	for it := 0; it < iters; it++ {
+		done = it + 1
 		w := oneTree(m, pi, deg, ws)
 		var piSum float64
 		for _, p := range pi {
@@ -75,6 +90,7 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 		bound := w - 2*piSum
 		if bound > best {
 			best = bound
+			boundSeries.Add(int64(it), bound)
 		}
 		// Subgradient: degree deviation from 2.
 		var norm float64
@@ -84,11 +100,15 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 		}
 		if norm == 0 {
 			// The 1-tree is a tour: the bound is exact.
+			sp.SetAttrs(obs.Bool("converged", true))
 			break
 		}
 		step := alpha * (float64(ub) - bound) / norm
 		if step <= 0 {
 			break
+		}
+		if it%period == 0 {
+			stepSeries.Add(int64(it), step)
 		}
 		for i := 0; i < n; i++ {
 			pi[i] += step * float64(deg[i]-2)
@@ -97,6 +117,8 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 			alpha /= 2
 		}
 	}
+	sp.Count("hk.iterations", int64(done))
+	sp.End(obs.Float("bound", best), obs.Int("iterations", int64(done)))
 	return best
 }
 
@@ -128,13 +150,20 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 	}
 	ub := float64(dirUB) - shift
 
+	hsp := opt.Obs.Child("tsp.heldkarp",
+		obs.Int("cities", int64(n)), obs.Int("nodes", int64(ot.N)), obs.Float("shift", shift))
+	boundSeries := hsp.Series("hk_bound")
+	stepSeries := hsp.Series("hk_step")
+
 	iters, period := hkSchedule(ot.N, opt.Iterations)
 	alpha := opt.InitialAlpha
 	if alpha <= 0 {
 		alpha = 2
 	}
 	best := math.Inf(-1)
+	done := 0
 	for it := 0; it < iters; it++ {
+		done = it + 1
 		w := ot.run()
 		var piSum float64
 		for _, p := range ot.pi {
@@ -143,6 +172,9 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 		bound := w - 2*piSum
 		if bound > best {
 			best = bound
+			// The trajectory is recorded in directed terms (shifted back),
+			// so it is directly comparable with tour costs.
+			boundSeries.Add(int64(it), bound+shift)
 		}
 		var norm float64
 		for i := 0; i < ot.N; i++ {
@@ -150,11 +182,15 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 			norm += d * d
 		}
 		if norm == 0 {
+			hsp.SetAttrs(obs.Bool("converged", true))
 			break
 		}
 		step := alpha * (ub - bound) / norm
 		if step <= 0 {
 			break
+		}
+		if it%period == 0 {
+			stepSeries.Add(int64(it), step)
 		}
 		for i := 0; i < ot.N; i++ {
 			ot.pi[i] += step * float64(ot.deg[i]-2)
@@ -163,6 +199,8 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 			alpha /= 2
 		}
 	}
+	hsp.Count("hk.iterations", int64(done))
+	hsp.End(obs.Float("bound", best+shift), obs.Int("iterations", int64(done)))
 	return best + shift
 }
 

@@ -1,6 +1,10 @@
 package tsp
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"branchalign/internal/obs"
+)
 
 // DoubleBridge applies the classic 4-opt double-bridge kick to tour t and
 // returns a new tour. The tour is cut into four consecutive segments
@@ -32,29 +36,56 @@ func DoubleBridge(t Tour, rng *rand.Rand) Tour {
 // kicked solution. It performs iters kick-and-reoptimize rounds and
 // returns the best tour found with its cost.
 func IteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
+	t, c, _ := iteratedThreeOpt(m, nb, start, iters, rng, nil)
+	return t, c
+}
+
+// runTelemetry carries per-run iterated-local-search diagnostics.
+type runTelemetry struct {
+	kicks, kickAccepts        int64
+	movesTried, movesAccepted int64
+	// iterBest is the kick iteration at which the best tour was found
+	// (0 = the initial local optimum).
+	iterBest int
+}
+
+// iteratedThreeOpt is IteratedThreeOpt with telemetry: when sp is
+// non-nil the cost-vs-iteration convergence series is recorded on it
+// (the initial local optimum plus every accepted kick). The run
+// statistics are returned either way; they cost a handful of integer
+// updates per kick, far off the 3-opt inner loop.
+func iteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand, sp *obs.Span) (Tour, Cost, runTelemetry) {
 	if nb == nil {
 		nb = BuildNeighbors(m, DefaultNeighborCount, ForbidCost(m))
 	}
+	var rt runTelemetry
 	o := NewThreeOpt(m, nb, start)
 	o.Optimize()
 	cur := o.Tour()
 	curCost := o.Cost()
 	best := cur.Clone()
 	bestCost := curCost
+	series := sp.Series("tour_cost")
+	series.Add(0, float64(curCost))
 	for i := 0; i < iters; i++ {
 		kicked := DoubleBridge(cur, rng)
 		o.SetTour(kicked)
 		o.Optimize()
+		rt.kicks++
 		if o.Cost() <= curCost {
+			rt.kickAccepts++
 			cur = o.Tour()
 			curCost = o.Cost()
+			series.Add(int64(i+1), float64(curCost))
 			if curCost < bestCost {
 				best = cur.Clone()
 				bestCost = curCost
+				rt.iterBest = i + 1
 			}
 		}
 	}
-	return best, bestCost
+	rt.movesTried, rt.movesAccepted = o.Moves()
+	return best, bestCost, rt
 }
 
 // SolveOptions configures Solve.
@@ -90,6 +121,12 @@ type SolveOptions struct {
 	GreedyMaxCities int
 	// Seed seeds the deterministic random stream.
 	Seed int64
+	// Obs, when non-nil, is the parent span solver telemetry is recorded
+	// under: a "tsp.solve" child span with one "tsp.run" span (carrying
+	// the tour-cost convergence series and move counters) per
+	// local-search run. A nil Obs — the default — records nothing and
+	// costs nothing on the hot path.
+	Obs *obs.Span
 }
 
 // PaperSolveOptions returns the solver protocol used in the paper:
@@ -122,6 +159,13 @@ type Result struct {
 	RunsAtBest int
 	// Runs is the number of local-search runs performed.
 	Runs int
+	// IterationsToBest is the kick iteration at which the winning run
+	// found the returned tour (0 for the initial local optimum, and for
+	// exact solves).
+	IterationsToBest int
+	// MovesTried and MovesAccepted total the candidate 3-opt moves
+	// examined and applied across all runs (0 for exact solves).
+	MovesTried, MovesAccepted int64
 }
 
 // denseSolveCutover is the instance size below which Solve materializes
@@ -140,11 +184,17 @@ const denseSolveCutover = 24
 // pure functions of those values).
 func Solve(m Costs, opt SolveOptions) Result {
 	n := m.Len()
-	if s, ok := m.(*SparseMatrix); ok && n <= denseSolveCutover {
-		m = s.Dense()
+	sp := opt.Obs.Child("tsp.solve", obs.Int("cities", int64(n)))
+	if s, ok := m.(*SparseMatrix); ok {
+		sp.SetAttrs(obs.Int("exceptions", int64(s.Exceptions())))
+		if n <= denseSolveCutover {
+			m = s.Dense()
+		}
 	}
 	if opt.ExactThreshold > 0 && n <= opt.ExactThreshold {
 		t, c := SolveExact(m)
+		sp.Count("tsp.exact_solves", 1)
+		sp.End(obs.Int("cost", c), obs.Bool("exact", true), obs.Int("runs", 1))
 		return Result{Tour: t, Cost: c, Exact: true, RunsAtBest: 1, Runs: 1}
 	}
 	factor := opt.IterationsFactor
@@ -163,40 +213,52 @@ func Solve(m Costs, opt SolveOptions) Result {
 	}
 
 	var res Result
-	consider := func(t Tour, c Cost) {
+	consider := func(t Tour, c Cost, rt runTelemetry) {
 		res.Runs++
+		res.MovesTried += rt.movesTried
+		res.MovesAccepted += rt.movesAccepted
 		switch {
 		case res.Tour == nil || c < res.Cost:
 			res.Tour = t
 			res.Cost = c
 			res.RunsAtBest = 1
+			res.IterationsToBest = rt.iterBest
 		case c == res.Cost:
 			res.RunsAtBest++
 		}
 	}
-	for i := 0; i < opt.GreedyStarts; i++ {
-		var start Tour
-		if n > greedyMax {
-			start = NearestNeighbor(m, rng.Intn(n), rng)
-		} else {
-			start = GreedyEdge(m, rng)
+	// run performs one iterated-local-search run from the given start
+	// tour, recording a "tsp.run" span when tracing is on.
+	run := func(kind string, start Tour) {
+		rs := sp.Child("tsp.run", obs.String("start", kind), obs.Int("run", int64(res.Runs)))
+		if rs != nil {
+			rs.SetAttrs(obs.Int("start_cost", CycleCost(m, start)))
 		}
-		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
-		consider(t, c)
+		t, c, rt := iteratedThreeOpt(m, nb, start, iters, rng, rs)
+		rs.Count("tsp.kicks", rt.kicks)
+		rs.Count("tsp.moves_tried", rt.movesTried)
+		rs.Count("tsp.moves_accepted", rt.movesAccepted)
+		rs.End(obs.Int("cost", c), obs.Int("iter_best", int64(rt.iterBest)),
+			obs.Int("kicks", rt.kicks), obs.Int("kick_accepts", rt.kickAccepts),
+			obs.Int("moves_tried", rt.movesTried), obs.Int("moves_accepted", rt.movesAccepted))
+		consider(t, c, rt)
+	}
+	for i := 0; i < opt.GreedyStarts; i++ {
+		if n > greedyMax {
+			run("nn", NearestNeighbor(m, rng.Intn(n), rng))
+		} else {
+			run("greedy", GreedyEdge(m, rng))
+		}
 	}
 	for i := 0; i < opt.NNStarts; i++ {
-		start := NearestNeighbor(m, rng.Intn(n), rng)
-		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
-		consider(t, c)
+		run("nn", NearestNeighbor(m, rng.Intn(n), rng))
 	}
 	for i := 0; i < opt.IdentityStarts; i++ {
-		t, c := IteratedThreeOpt(m, nb, IdentityTour(n), iters, rng)
-		consider(t, c)
+		run("identity", IdentityTour(n))
 	}
 	for i := 0; i < opt.PatchingStarts; i++ {
 		start, _ := SolvePatching(m)
-		t, c := IteratedThreeOpt(m, nb, start, iters, rng)
-		consider(t, c)
+		run("patching", start)
 	}
 	if res.Tour == nil {
 		res.Tour = IdentityTour(n)
@@ -204,5 +266,9 @@ func Solve(m Costs, opt SolveOptions) Result {
 		res.Runs = 1
 		res.RunsAtBest = 1
 	}
+	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", false),
+		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
+		obs.Int("iter_best", int64(res.IterationsToBest)),
+		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted))
 	return res
 }

@@ -34,6 +34,13 @@ type ThreeOpt struct {
 	queue    []int
 	inQueue  []bool
 	scratch  []int
+
+	// tried counts candidate moves whose first reconnection edge was
+	// gain-tested; accepted counts applied moves. Plain increments (one
+	// predictable add each) keep the counters always-on without
+	// measurable inner-loop cost — see bench_obs_test.go.
+	tried    int64
+	accepted int64
 }
 
 // NewThreeOpt creates a local search over matrix m with candidate lists nb
@@ -81,6 +88,12 @@ func (o *ThreeOpt) Tour() Tour { return o.t.Clone() }
 // Cost returns the (incrementally maintained) cost of the current tour.
 func (o *ThreeOpt) Cost() Cost { return o.c }
 
+// Moves reports the cumulative number of candidate moves examined and
+// moves applied since the ThreeOpt was created (across SetTour resets),
+// the solver-effort telemetry behind the "moves tried vs accepted"
+// counters.
+func (o *ThreeOpt) Moves() (tried, accepted int64) { return o.tried, o.accepted }
+
 func (o *ThreeOpt) succ(x int) int { return o.t[(o.pos[x]+1)%o.n] }
 func (o *ThreeOpt) pred(x int) int { return o.t[(o.pos[x]-1+o.n)%o.n] }
 
@@ -119,6 +132,7 @@ func (o *ThreeOpt) improveFrom(a int) bool {
 	b := o.succ(a)
 	gainBase := o.m.At(a, b)
 	for _, d := range o.nb.Out[a] {
+		o.tried++
 		g1 := gainBase - o.m.At(a, d)
 		if g1 <= 0 {
 			break // neighbor lists are sorted by cost
@@ -177,6 +191,7 @@ func (o *ThreeOpt) apply(a, npD, npE int, gain Cost) {
 		o.pos[city] = i
 	}
 	o.c -= gain
+	o.accepted++
 }
 
 // wake clears don't-look bits for the endpoints touched by a move.

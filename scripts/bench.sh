@@ -30,7 +30,14 @@ go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" -timeout 60m
 {
 	printf '{\n'
 	printf '  "label": "%s",\n' "$label"
-	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+	# Flag snapshots of uncommitted trees: their numbers are not
+	# reproducible from the recorded commit.
+	if [ "$commit" != unknown ] && ! git diff --quiet HEAD -- '*.go' 2>/dev/null; then
+		commit="${commit}-dirty"
+	fi
+	printf '  "commit": "%s",\n' "$commit"
+	printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "benchmarks": [\n'

@@ -20,6 +20,9 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== go test -race (telemetry + solver, concurrency-heavy)"
+go test -race -count=2 ./internal/obs/ ./internal/tsp/
+
 echo "== go test -race"
 go test -race ./...
 
