@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-obs vet-benchmarks bench bench-snapshot trace-demo clean
+.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks bench bench-snapshot trace-demo serve-demo clean
 
-ci: fmt vet build race-obs race vet-benchmarks
+ci: fmt vet build race-obs race-engine race vet-benchmarks
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -33,6 +33,11 @@ race:
 race-obs:
 	$(GO) test -race -count=2 ./internal/obs/ ./internal/tsp/
 
+# The request-serving stack: engine worker pool / cache / single-flight
+# and the balignd HTTP handlers, under the race detector.
+race-engine:
+	$(GO) test -race -count=2 ./internal/engine/ ./cmd/balignd/ ./internal/core/
+
 # Run the pipeline-wide invariant checker over every bundled benchmark.
 vet-benchmarks:
 	$(GO) run ./cmd/balign vet -all
@@ -55,6 +60,11 @@ TRACE ?= /tmp/balign-trace.ndjson
 trace-demo:
 	$(GO) run ./cmd/balign -bench compress -sim -bound -trace $(TRACE)
 	$(GO) run ./cmd/balign report -in $(TRACE)
+
+# Start balignd, align one bundled benchmark over HTTP, verify the
+# response, and drain the server with SIGTERM.
+serve-demo:
+	scripts/serve_demo.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,61 @@
+package branchalign
+
+import (
+	"context"
+	"testing"
+
+	"branchalign/internal/engine"
+	"branchalign/internal/machine"
+	"branchalign/internal/testutil"
+)
+
+// BenchmarkEngineDispatch measures the alignment engine's request
+// overhead around the solver:
+//
+//   - cold: every request is a full solve (cache disabled) — the price
+//     of one uncached engine round trip, dominated by the TSP solves;
+//   - cached: every request after the first is served from the keyed
+//     result cache — the pure dispatch overhead (request hashing, LRU
+//     lookup, result copy), which is what a balignd hot path pays.
+//
+// Snapshot with: scripts/bench.sh engine 'BenchmarkEngineDispatch'
+func BenchmarkEngineDispatch(b *testing.B) {
+	mod, prof, _, err := testutil.CompileAndProfile(testutil.BranchySource, testutil.BranchyInput(400, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := machine.Alpha21164()
+	req := engine.Request{Module: mod, Profile: prof, Model: model, Seed: 1}
+
+	b.Run("cold", func(b *testing.B) {
+		e := engine.New(engine.Options{CacheEntries: -1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Align(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheHit {
+				b.Fatal("cache hit with caching disabled")
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		e := engine.New(engine.Options{})
+		if _, err := e.Align(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Align(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+}

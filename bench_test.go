@@ -10,6 +10,7 @@
 package branchalign
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -86,7 +87,7 @@ func BenchmarkFig2Penalties(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				layouts := s.AlignAll(mod, prof)
+				layouts := s.AlignAll(context.Background(), mod, prof)
 				for _, l := range layouts {
 					layout.ModulePenalty(mod, l, prof, s.Model)
 				}
@@ -109,7 +110,7 @@ func BenchmarkFig2Times(b *testing.B) {
 			}
 			for di := range bm.DataSets {
 				ds := &bm.DataSets[di]
-				layouts, err := s.LayoutsOf(bm, ds)
+				layouts, err := s.LayoutsOf(context.Background(), bm, ds)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -218,7 +219,7 @@ func benchAlign(b *testing.B, a align.Aligner) {
 	m := machine.Alpha21164()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Align(mod, prof, m)
+		a.Align(context.Background(), mod, prof, m)
 	}
 }
 
@@ -304,7 +305,7 @@ func BenchmarkScalability(b *testing.B) {
 		a := align.NewTSP(1)
 		b.Run(sizeName(blocks), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				a.Align(mod, prof, m)
+				a.Align(context.Background(), mod, prof, m)
 			}
 		})
 	}

@@ -18,6 +18,7 @@
 //
 //	balign report -bench compress
 //	balign report -in trace.ndjson
+//	balign -bench compress -bound -trace - | balign report -in -
 //
 // With -trace, the main driver exports the full telemetry of the run —
 // pipeline-stage spans, solver convergence series, counters — as NDJSON:
@@ -28,8 +29,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -57,33 +60,45 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		os.Exit(runReport(os.Args[2:]))
 	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "balign:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the main driver. Returning an error (rather than exiting
+// in-place) lets the deferred trace flush below run on every exit path,
+// so a failed run still leaves a complete, readable NDJSON trace.
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("balign", flag.ExitOnError)
 	var (
-		srcPath   = flag.String("src", "", "Mini-C source file to align")
-		data      = flag.String("data", "", "comma-separated ints for the entry array input")
-		scalarN   = flag.Int64("n", -1, "entry scalar argument (default: array length)")
-		benchName = flag.String("bench", "", "use a built-in benchmark instead of -src")
-		dataset   = flag.String("dataset", "", "benchmark data set name (with -bench)")
-		alignSel  = flag.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, all")
-		modelSel  = flag.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
-		seed      = flag.Int64("seed", 1, "solver seed")
-		sim       = flag.Bool("sim", false, "simulate execution time (pipeline + I-cache)")
-		cacheKB   = flag.Int("cache-bytes", 0, "I-cache size in bytes for -sim (0 = default 512)")
-		cacheWays = flag.Int("cache-ways", 0, "I-cache associativity for -sim (0 = default 2)")
-		dynPred   = flag.Bool("dynpredict", false, "simulate a 2-bit dynamic predictor instead of static prediction")
-		dump      = flag.Bool("dump", false, "dump the IR module")
-		dotFunc   = flag.String("dot", "", "emit the CFG of the named function as Graphviz dot")
-		showOrder = flag.Bool("orders", false, "print the block order of every function")
-		bound     = flag.Bool("bound", false, "also compute the Held-Karp lower bound")
-		optimize  = flag.Bool("opt", false, "run CFG cleanup (jump threading, block merging) before aligning")
-		profOut   = flag.String("profile-out", "", "write the training profile as JSON")
-		profIn    = flag.String("profile-in", "", "read the training profile from JSON instead of running the program")
-		layoutOut = flag.String("layout-out", "", "write the chosen aligner's layout as JSON (single -aligner only)")
-		metrics   = flag.Bool("metrics", false, "report fall-through/taken/fixup transfer rates per aligner")
-		listing   = flag.String("listing", "", "print the named function's laid-out pseudo-assembly per aligner")
-		loops     = flag.Bool("loops", false, "report loop structure (dominators + natural loops) per function")
-		tracePath = flag.String("trace", "", "export run telemetry (spans, convergence series, counters) as NDJSON")
+		srcPath   = fs.String("src", "", "Mini-C source file to align")
+		data      = fs.String("data", "", "comma-separated ints for the entry array input")
+		scalarN   = fs.Int64("n", -1, "entry scalar argument (default: array length)")
+		benchName = fs.String("bench", "", "use a built-in benchmark instead of -src")
+		dataset   = fs.String("dataset", "", "benchmark data set name (with -bench)")
+		alignSel  = fs.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, all")
+		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
+		seed      = fs.Int64("seed", 1, "solver seed")
+		sim       = fs.Bool("sim", false, "simulate execution time (pipeline + I-cache)")
+		cacheKB   = fs.Int("cache-bytes", 0, "I-cache size in bytes for -sim (0 = default 512)")
+		cacheWays = fs.Int("cache-ways", 0, "I-cache associativity for -sim (0 = default 2)")
+		dynPred   = fs.Bool("dynpredict", false, "simulate a 2-bit dynamic predictor instead of static prediction")
+		dump      = fs.Bool("dump", false, "dump the IR module")
+		dotFunc   = fs.String("dot", "", "emit the CFG of the named function as Graphviz dot")
+		showOrder = fs.Bool("orders", false, "print the block order of every function")
+		bound     = fs.Bool("bound", false, "also compute the Held-Karp lower bound")
+		optimize  = fs.Bool("opt", false, "run CFG cleanup (jump threading, block merging) before aligning")
+		profOut   = fs.String("profile-out", "", "write the training profile as JSON")
+		profIn    = fs.String("profile-in", "", "read the training profile from JSON instead of running the program")
+		layoutOut = fs.String("layout-out", "", "write the chosen aligner's layout as JSON (single -aligner only)")
+		metrics   = fs.Bool("metrics", false, "report fall-through/taken/fixup transfer rates per aligner")
+		listing   = fs.String("listing", "", "print the named function's laid-out pseudo-assembly per aligner")
+		loops     = fs.Bool("loops", false, "report loop structure (dominators + natural loops) per function")
+		tracePath = fs.String("trace", "", "export run telemetry (spans, convergence series, counters) as NDJSON (\"-\" streams to stdout, tables move to stderr)")
 	)
-	flag.Parse()
+	fs.Parse(args)
+	ctx := context.Background()
 
 	// Telemetry: a nil root span (no -trace) disables every obs call site
 	// downstream at zero cost.
@@ -94,26 +109,50 @@ func main() {
 		traceFile *os.File
 	)
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
+		var w io.Writer
+		if *tracePath == "-" {
+			// The event stream owns stdout; move the human-readable
+			// driver output to stderr so the NDJSON stays parseable:
+			//   balign -bench compress -bound -trace - | balign report -in -
+			w = os.Stdout
+			os.Stdout = os.Stderr
+		} else {
+			f, cerr := os.Create(*tracePath)
+			if cerr != nil {
+				return cerr
+			}
+			traceFile = f
+			w = f
 		}
-		traceFile = f
-		traceSink = obs.NewNDJSONSink(f)
+		traceSink = obs.NewNDJSONSink(w)
 		traceT = obs.New(traceSink)
 		root = traceT.Start("balign",
 			obs.String("aligner", *alignSel),
 			obs.String("model", *modelSel),
 			obs.Int("seed", *seed))
+		defer func() {
+			root.End()
+			if cerr := traceT.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if traceFile != nil {
+				if cerr := traceFile.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if err == nil {
+				fmt.Printf("wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
+			}
+		}()
 	}
 
 	mod, inputs, err := loadProgram(*srcPath, *benchName, *dataset, *data, *scalarN)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	model, err := pickModel(*modelSel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *optimize {
 		st := opt.Module(mod)
@@ -128,12 +167,12 @@ func main() {
 	if *profIn != "" {
 		f, err := os.Open(*profIn)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prof, err = interp.ReadProfileJSON(f, mod)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("loaded profile from %s (%d branch sites touched)\n", *profIn, prof.BranchSitesTouched(mod))
 	} else {
@@ -141,7 +180,7 @@ func main() {
 		prof = interp.NewProfile(mod)
 		res, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 31})
 		if err != nil {
-			fatal(fmt.Errorf("profiling run failed: %w", err))
+			return fmt.Errorf("profiling run failed: %w", err)
 		}
 		psp.End(obs.Int("steps", res.Steps), obs.Int("dyn_branches", res.DynBranches()))
 		fmt.Printf("profiled: %d IR instructions, %d dynamic branches, %d branch sites touched, ret=%d\n",
@@ -150,10 +189,10 @@ func main() {
 	if *profOut != "" {
 		f, err := os.Create(*profOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := prof.WriteJSON(f); err != nil {
-			fatal(err)
+			return err
 		}
 		f.Close()
 		fmt.Printf("wrote profile to %s\n", *profOut)
@@ -162,7 +201,7 @@ func main() {
 	if *dotFunc != "" {
 		fi := mod.FuncIndex(*dotFunc)
 		if fi < 0 {
-			fatal(fmt.Errorf("no function %q", *dotFunc))
+			return fmt.Errorf("no function %q", *dotFunc)
 		}
 		fmt.Print(mod.Funcs[fi].Dot(func(b, si int) (int64, bool) {
 			return prof.Funcs[fi].EdgeCounts[b][si], true
@@ -175,7 +214,7 @@ func main() {
 
 	aligners, err := pickAligners(*alignSel, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	origLayout := layout.Identity(mod, prof, model)
@@ -196,7 +235,7 @@ func main() {
 		rsp := root.Child("record")
 		trace, _, err = pipe.Record(mod, inputs, interp.Options{MaxSteps: 1 << 31})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rsp.End(obs.Int("trace_events", int64(trace.Len())))
 		ssp := root.Child("simulate", obs.String("aligner", "original"))
@@ -214,17 +253,17 @@ func main() {
 		if t, ok := a.(*align.TSP); ok {
 			t.Obs = asp
 		}
-		l := a.Align(mod, prof, model)
+		l := a.Align(ctx, mod, prof, model)
 		if err := l.Validate(mod); err != nil {
-			fatal(fmt.Errorf("%s produced an invalid layout: %w", a.Name(), err))
+			return fmt.Errorf("%s produced an invalid layout: %w", a.Name(), err)
 		}
 		if *layoutOut != "" && len(aligners) == 1 {
 			f, err := os.Create(*layoutOut)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := l.WriteJSON(f); err != nil {
-				fatal(err)
+				return err
 			}
 			f.Close()
 			fmt.Printf("wrote %s layout to %s\n", a.Name(), *layoutOut)
@@ -250,7 +289,7 @@ func main() {
 		if *listing != "" {
 			fi := mod.FuncIndex(*listing)
 			if fi < 0 {
-				fatal(fmt.Errorf("no function %q", *listing))
+				return fmt.Errorf("no function %q", *listing)
 			}
 			pf := layout.PlaceFunc(mod.Funcs[fi], l.Funcs[fi], 0)
 			fmt.Printf("--- %s layout of %s ---\n%s", a.Name(), *listing,
@@ -270,21 +309,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(table.String())
-	if traceT != nil {
-		root.End()
-		if err := traceT.Close(); err != nil {
-			fatal(err)
-		}
-		if err := traceFile.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "balign:", err)
-	os.Exit(1)
+	return nil
 }
 
 // printLoops reports each function's loop structure with profiled trip

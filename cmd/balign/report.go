@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"branchalign/internal/align"
 	"branchalign/internal/interp"
@@ -22,7 +27,7 @@ import (
 func runReport(args []string) int {
 	fs := flag.NewFlagSet("balign report", flag.ExitOnError)
 	var (
-		in        = fs.String("in", "", "render from a recorded NDJSON trace instead of running the pipeline")
+		in        = fs.String("in", "", "render from a recorded NDJSON trace instead of running the pipeline (\"-\" reads stdin)")
 		srcPath   = fs.String("src", "", "Mini-C source file to align")
 		data      = fs.String("data", "", "comma-separated ints for the entry array input")
 		scalarN   = fs.Int64("n", -1, "entry scalar argument (default: array length)")
@@ -36,15 +41,23 @@ func runReport(args []string) int {
 
 	var events []obs.Event
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "balign report:", err)
-			return 1
+		// "-" renders a trace piped on stdin, so a recorded run can be
+		// inspected without touching disk:
+		//   balign -bench compress -bound -trace - | balign report -in -
+		r, name := io.Reader(os.Stdin), "stdin"
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "balign report:", err)
+				return 1
+			}
+			defer f.Close()
+			r, name = f, *in
 		}
-		events, err = obs.ReadEvents(f)
-		f.Close()
+		var err error
+		events, err = obs.ReadEvents(eventLines(r))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "balign report: reading %s: %v\n", *in, err)
+			fmt.Fprintf(os.Stderr, "balign report: reading %s: %v\n", name, err)
 			return 1
 		}
 	} else {
@@ -81,7 +94,7 @@ func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel
 	aligner := align.NewTSP(seed)
 	aligner.Parallel = true
 	aligner.Obs = root
-	aligner.Align(mod, prof, model)
+	aligner.Align(context.Background(), mod, prof, model)
 	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: hkIters, Obs: root})
 	root.End()
 	if err := tr.Close(); err != nil {
@@ -208,4 +221,23 @@ func gapPct(cost, bound int64) float64 {
 		return 0
 	}
 	return g
+}
+
+// eventLines filters a trace stream down to its NDJSON event lines
+// (those starting with '{'). `balign -trace /dev/stdout` interleaves
+// the driver's human-readable progress lines with the event stream;
+// dropping them lets that output pipe straight into `report -in -`.
+// Malformed lines that do start with '{' still fail the decode.
+func eventLines(r io.Reader) io.Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // convergence-series events can be long
+	var buf bytes.Buffer
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "{") {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+	}
+	return &buf
 }

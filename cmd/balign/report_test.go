@@ -82,3 +82,27 @@ func TestReportRunEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestEventLinesFiltersHumanOutput pins the `-trace -` pipe contract:
+// lines that are not NDJSON events (driver progress chatter) are
+// dropped before decoding, while event lines survive intact.
+func TestEventLinesFiltersHumanOutput(t *testing.T) {
+	mixed := strings.Join([]string{
+		`profiled: 42 IR instructions, 7 dynamic branches`,
+		`{"type":"span","name":"align.func","attrs":{"func":"f","cities":3,"cost":10}}`,
+		``,
+		`aligner   control penalty`,
+		`  {"type":"span","name":"align.hk","attrs":{"func":"f","bound":9}}`,
+	}, "\n")
+	events, err := obs.ReadEvents(eventLines(strings.NewReader(mixed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(events), events)
+	}
+	out := renderReport(events)
+	if !strings.Contains(out, "f") || !strings.Contains(out, "10") || !strings.Contains(out, "9") {
+		t.Fatalf("report missing joined data:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -99,7 +100,7 @@ func vetProgram(name string, mod *ir.Module, inputs []interp.Input, aligners []a
 	base.Merge(check.Flow(mod, prof))
 	ok := printVetReport(name, base, verbose)
 	for _, a := range aligners {
-		l := a.Align(mod, prof, model)
+		l := a.Align(context.Background(), mod, prof, model)
 		r := check.Layouts(mod, prof, l, model)
 		if opts.Bounds {
 			r.Merge(check.Bounds(mod, prof, l, model, opts.BoundsOptions))

@@ -1,0 +1,89 @@
+// Command balignd serves the branch-alignment engine over HTTP.
+//
+//	balignd -addr :8347
+//	curl -s localhost:8347/v1/align -d '{"bench":"compress","bound":true}'
+//
+// Endpoints:
+//
+//	POST /v1/align    align a program (inline Mini-C source or a bundled
+//	                  benchmark, optional recorded profile) and return
+//	                  per-function layouts with tour/bound statistics
+//	GET  /v1/healthz  liveness probe
+//	GET  /v1/stats    server and engine counters
+//
+// Every request is budgeted: its deadline (timeout_ms, clamped by
+// -max-timeout) truncates in-flight solves at their next kick boundary
+// and returns the best layout found so far, flagged "truncated" —
+// never an error, never an invalid layout. Excess concurrent requests
+// beyond -max-inflight are shed with 429. SIGTERM/SIGINT drain the
+// server gracefully: in-flight requests finish, new ones are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "balignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("balignd", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8347", "listen address")
+		workers     = fs.Int("workers", 0, "max concurrent per-function solves (0 = GOMAXPROCS)")
+		cacheSize   = fs.Int("cache", 64, "result cache entries (negative disables)")
+		maxInflight = fs.Int("max-inflight", 8, "max concurrent align requests before shedding 429s")
+		defTimeout  = fs.Duration("default-timeout", 30*time.Second, "deadline for requests without timeout_ms")
+		maxTimeout  = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request deadlines")
+		drain       = fs.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	fs.Parse(args)
+
+	srv := newServer(serverConfig{
+		Workers:        *workers,
+		CacheEntries:   *cacheSize,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("balignd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("balignd draining (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("balignd stopped")
+	return nil
+}

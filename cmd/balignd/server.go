@@ -1,0 +1,387 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"branchalign/internal/bench"
+	"branchalign/internal/engine"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/lower"
+	"branchalign/internal/machine"
+	"branchalign/internal/minic"
+	"branchalign/internal/obs"
+	"branchalign/internal/stats"
+	"branchalign/internal/tsp"
+)
+
+// serverConfig carries the knobs the flags set.
+type serverConfig struct {
+	// Workers bounds concurrent per-function solves (engine pool).
+	Workers int
+	// CacheEntries bounds the engine result cache.
+	CacheEntries int
+	// MaxInflight bounds concurrently served /v1/align requests; excess
+	// requests are shed with 429 rather than queued, so a burst cannot
+	// build an unbounded backlog of goroutines holding parsed modules.
+	MaxInflight int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout clamps what a request may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// serverStats are the server-level counters surfaced by /v1/stats
+// (engine counters are reported alongside). Atomics: the handlers
+// bump them concurrently.
+type serverStats struct {
+	Requests  atomic.Int64
+	Shed      atomic.Int64
+	Errors    atomic.Int64
+	Truncated atomic.Int64
+}
+
+type server struct {
+	cfg      serverConfig
+	eng      *engine.Engine
+	inflight chan struct{}
+	mux      *http.ServeMux
+	stats    serverStats
+}
+
+// newServer wires the engine and routes. It is the unit the tests
+// exercise through httptest, independent of sockets and signals.
+func newServer(cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg:      cfg,
+		eng:      engine.New(engine.Options{Workers: cfg.Workers, CacheEntries: cfg.CacheEntries}),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// alignRequest is the wire form of one alignment job: a program (inline
+// Mini-C source, or the name of a bundled benchmark) plus either a
+// training input or a previously recorded profile (the JSON written by
+// `balign -profile-out`).
+type alignRequest struct {
+	Source  string `json:"source,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	DataSet string `json:"dataset,omitempty"`
+
+	Data []int64 `json:"data,omitempty"`
+	N    *int64  `json:"n,omitempty"`
+	// Profile, when present, is used instead of running the program.
+	Profile json.RawMessage `json:"profile,omitempty"`
+
+	Model string `json:"model,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+
+	Bound        bool `json:"bound,omitempty"`
+	HKIterations int  `json:"hk_iterations,omitempty"`
+
+	// TimeoutMS and MaxKicks budget the solve; see tsp.Budget. A
+	// deadline hit yields a valid truncated result, not an error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	MaxKicks  int64 `json:"max_kicks,omitempty"`
+
+	// Trace returns the request-scoped telemetry events inline.
+	Trace bool `json:"trace,omitempty"`
+}
+
+type alignResponse struct {
+	Penalty         int64   `json:"penalty"`
+	OriginalPenalty int64   `json:"original_penalty"`
+	Normalized      float64 `json:"normalized"`
+	Bound           int64   `json:"bound,omitempty"`
+	Truncated       bool    `json:"truncated"`
+	CacheHit        bool    `json:"cache_hit"`
+	Coalesced       bool    `json:"coalesced"`
+
+	Funcs       []engine.FuncStat `json:"funcs"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	TraceEvents []obs.Event       `json:"trace_events,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Server struct {
+			Requests  int64 `json:"requests"`
+			Shed      int64 `json:"shed"`
+			Errors    int64 `json:"errors"`
+			Truncated int64 `json:"truncated"`
+		} `json:"server"`
+		Engine engine.Stats `json:"engine"`
+	}{
+		Server: struct {
+			Requests  int64 `json:"requests"`
+			Shed      int64 `json:"shed"`
+			Errors    int64 `json:"errors"`
+			Truncated int64 `json:"truncated"`
+		}{
+			Requests:  s.stats.Requests.Load(),
+			Shed:      s.stats.Shed.Load(),
+			Errors:    s.stats.Errors.Load(),
+			Truncated: s.stats.Truncated.Load(),
+		},
+		Engine: s.eng.Stats(),
+	})
+}
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.stats.Requests.Add(1)
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		// Shed instead of queueing: the caller can retry with backoff,
+		// and /v1/healthz stays responsive because it never takes this
+		// path.
+		s.stats.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
+		return
+	}
+
+	var req alignRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// r.Context() additionally cancels the solve when the client goes
+	// away — no point polishing a layout nobody will read.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, httpCode, err := s.align(ctx, req)
+	if err != nil {
+		s.fail(w, httpCode, err)
+		return
+	}
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if res.Truncated {
+		s.stats.Truncated.Add(1)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.stats.Errors.Add(1)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// align resolves the request into a module+profile and runs it through
+// the engine. The int return is the HTTP status to use when err != nil.
+func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, int, error) {
+	mod, inputs, err := buildModule(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	model, err := pickModel(req.Model)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	prof, err := buildProfile(mod, inputs, req.Profile)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	var (
+		tr   *obs.Trace
+		sink *obs.MemorySink
+		root *obs.Span
+	)
+	if req.Trace {
+		sink = &obs.MemorySink{}
+		tr = obs.New(sink)
+		root = tr.Start("balignd.align", obs.String("model", model.Name), obs.Int("seed", req.Seed))
+	}
+
+	eres, err := s.eng.Align(ctx, engine.Request{
+		Module:  mod,
+		Profile: prof,
+		Model:   model,
+		Seed:    req.Seed,
+		Budget: tsp.Budget{
+			MaxKicks:        req.MaxKicks,
+			MaxHKIterations: 0, // the iterate count is HKIterations itself
+		},
+		Bound:        req.Bound,
+		HKIterations: req.HKIterations,
+		Obs:          root,
+	})
+	if err != nil {
+		// Distinguish "the request's own deadline consumed before
+		// solving began" from malformed input.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, http.StatusServiceUnavailable, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+
+	resp := &alignResponse{
+		Penalty:         int64(eres.Penalty),
+		OriginalPenalty: int64(eres.OriginalPenalty),
+		Normalized:      stats.Ratio(eres.Penalty, eres.OriginalPenalty, 1),
+		Bound:           int64(eres.Bound),
+		Truncated:       eres.Truncated,
+		CacheHit:        eres.CacheHit,
+		Coalesced:       eres.Coalesced,
+		Funcs:           eres.Funcs,
+	}
+	if req.Trace {
+		root.End(obs.Bool("truncated", eres.Truncated))
+		if err := tr.Close(); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.TraceEvents = sink.Events()
+	}
+	return resp, 0, nil
+}
+
+// buildModule compiles the requested program — inline Mini-C source or
+// a bundled benchmark — and shapes its training input.
+func buildModule(req alignRequest) (*ir.Module, []interp.Input, error) {
+	switch {
+	case req.Bench != "" && req.Source != "":
+		return nil, nil, fmt.Errorf("request has both source and bench; pick one")
+	case req.Bench != "":
+		b, err := bench.ByName(req.Bench)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := req.DataSet
+		if name == "" {
+			name = b.DataSets[0].Name
+		}
+		ds, err := b.DataSet(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		mod, err := b.Compile()
+		if err != nil {
+			return nil, nil, err
+		}
+		return mod, ds.Make(), nil
+	case req.Source != "":
+		prog, err := minic.Parse(req.Source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing source: %w", err)
+		}
+		info, err := minic.Check(prog)
+		if err != nil {
+			return nil, nil, fmt.Errorf("checking source: %w", err)
+		}
+		mod, err := lower.Program(info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lowering source: %w", err)
+		}
+		inputs, err := shapeInputs(mod, req.Data, req.N)
+		if err != nil {
+			return nil, nil, err
+		}
+		return mod, inputs, nil
+	}
+	return nil, nil, fmt.Errorf("request needs source or bench")
+}
+
+// shapeInputs matches the program entry signature against the provided
+// data, exactly as the balign CLI does.
+func shapeInputs(mod *ir.Module, data []int64, scalarN *int64) ([]interp.Input, error) {
+	entry := mod.Funcs[mod.EntryFunc]
+	n := int64(len(data))
+	if scalarN != nil {
+		n = *scalarN
+	}
+	switch {
+	case len(entry.Params) == 0:
+		return nil, nil
+	case len(entry.Params) == 1 && entry.Params[0] == ir.ParamScalar:
+		return []interp.Input{interp.ScalarInput(n)}, nil
+	case len(entry.Params) == 2 && entry.Params[0] == ir.ParamArray && entry.Params[1] == ir.ParamScalar:
+		return []interp.Input{interp.ArrayInput(data), interp.ScalarInput(n)}, nil
+	}
+	return nil, fmt.Errorf("entry main must have signature (), (n) or (input[], n)")
+}
+
+// buildProfile returns the training profile: parsed from the request
+// when supplied, collected by running the program otherwise.
+func buildProfile(mod *ir.Module, inputs []interp.Input, raw json.RawMessage) (*interp.Profile, error) {
+	if len(raw) > 0 {
+		prof, err := interp.ReadProfileJSON(bytes.NewReader(raw), mod)
+		if err != nil {
+			return nil, fmt.Errorf("reading profile: %w", err)
+		}
+		return prof, nil
+	}
+	prof := interp.NewProfile(mod)
+	if _, err := interp.Run(mod, inputs, interp.Options{Profile: prof, MaxSteps: 1 << 31}); err != nil {
+		return nil, fmt.Errorf("profiling run failed: %w", err)
+	}
+	return prof, nil
+}
+
+func pickModel(name string) (machine.Model, error) {
+	if name == "" {
+		name = "alpha21164"
+	}
+	for _, m := range machine.Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return machine.Model{}, fmt.Errorf("unknown model %q", name)
+}

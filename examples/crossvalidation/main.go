@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,11 +48,11 @@ func main() {
 	aligners := []align.Aligner{align.PettisHansen{}, align.NewTSP(1)}
 	for _, testName := range []string{"q7", "ne"} {
 		testProf := profiles[testName]
-		origCP := layout.ModulePenalty(mod, align.Original{}.Align(mod, testProf, model), testProf, model)
+		origCP := layout.ModulePenalty(mod, align.Original{}.Align(context.Background(), mod, testProf, model), testProf, model)
 		fmt.Printf("evaluating on xli.%s (original control penalty: %d cycles)\n", testName, origCP)
 		for _, a := range aligners {
 			for _, trainName := range []string{"q7", "ne"} {
-				l := a.Align(mod, profiles[trainName], model)
+				l := a.Align(context.Background(), mod, profiles[trainName], model)
 				cp := layout.ModulePenalty(mod, l, testProf, model)
 				kind := "self "
 				if trainName != testName {

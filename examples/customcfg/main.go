@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -85,7 +86,7 @@ func main() {
 	fmt.Println()
 
 	for _, a := range []align.Aligner{align.Original{}, align.PettisHansen{}, align.NewTSP(1)} {
-		l := a.Align(mod, prof, model)
+		l := a.Align(context.Background(), mod, prof, model)
 		cp := layout.ModulePenalty(mod, l, prof, model)
 		fmt.Printf("%-9s penalty %8d cycles, order %v\n", a.Name(), cp, l.Funcs[0].Order)
 	}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -80,9 +81,9 @@ func main() {
 	}
 	model := machine.Alpha21164()
 	aligner := align.NewTSP(1)
-	lay := aligner.Align(mod, loaded, model)
+	lay := aligner.Align(context.Background(), mod, loaded, model)
 
-	before := layout.ModulePenalty(mod, align.Original{}.Align(mod, loaded, model), loaded, model)
+	before := layout.ModulePenalty(mod, align.Original{}.Align(context.Background(), mod, loaded, model), loaded, model)
 	after := layout.ModulePenalty(mod, lay, loaded, model)
 	met := layout.ModuleMetrics(mod, lay, loaded)
 	fmt.Printf("penalty %d -> %d cycles; %.1f%% of transfers now fall through\n",

@@ -6,6 +6,8 @@
 package align
 
 import (
+	"context"
+
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
@@ -19,7 +21,14 @@ type Aligner interface {
 	Name() string
 	// Align lays out every function of mod using the edge frequencies in
 	// prof. The returned layout satisfies layout.Validate.
-	Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout
+	//
+	// ctx carries request-scoped cancellation: an anytime aligner (TSP)
+	// stops solving at the next kick boundary and finalizes its
+	// best-so-far orders — the result is always a valid layout, possibly
+	// a worse one than an uncancelled run would produce. The greedy
+	// aligners are effectively instantaneous and ignore ctx. A nil ctx
+	// is treated as context.Background().
+	Align(ctx context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout
 }
 
 // Original is the identity aligner: blocks stay in compiler order. It is
@@ -30,7 +39,7 @@ type Original struct{}
 func (Original) Name() string { return "original" }
 
 // Align implements Aligner.
-func (Original) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+func (Original) Align(_ context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
 	return layout.Identity(mod, prof, m)
 }
 

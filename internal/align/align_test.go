@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestAlignersProduceValidLayouts(t *testing.T) {
 	m := machine.Alpha21164()
 	aligners := []Aligner{Original{}, PettisHansen{}, &CalderGrunwald{}, NewTSP(1)}
 	for _, a := range aligners {
-		l := a.Align(mod, prof, m)
+		l := a.Align(context.Background(), mod, prof, m)
 		if err := l.Validate(mod); err != nil {
 			t.Errorf("%s: invalid layout: %v", a.Name(), err)
 		}
@@ -63,10 +64,10 @@ func TestAlignersProduceValidLayouts(t *testing.T) {
 func TestAlignerImprovementOrdering(t *testing.T) {
 	mod, prof := compileBranchy(t)
 	m := machine.Alpha21164()
-	orig := layout.ModulePenalty(mod, Original{}.Align(mod, prof, m), prof, m)
-	greedy := layout.ModulePenalty(mod, PettisHansen{}.Align(mod, prof, m), prof, m)
-	cg := layout.ModulePenalty(mod, (&CalderGrunwald{}).Align(mod, prof, m), prof, m)
-	tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(mod, prof, m), prof, m)
+	orig := layout.ModulePenalty(mod, Original{}.Align(context.Background(), mod, prof, m), prof, m)
+	greedy := layout.ModulePenalty(mod, PettisHansen{}.Align(context.Background(), mod, prof, m), prof, m)
+	cg := layout.ModulePenalty(mod, (&CalderGrunwald{}).Align(context.Background(), mod, prof, m), prof, m)
+	tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(context.Background(), mod, prof, m), prof, m)
 	if greedy > orig {
 		t.Errorf("greedy penalty %d worse than original %d", greedy, orig)
 	}
@@ -93,7 +94,7 @@ func TestTSPMatchesExactOnSmallFunctions(t *testing.T) {
 	mod, prof := compileBranchy(t)
 	m := machine.Alpha21164()
 	a := NewTSP(1)
-	l := a.Align(mod, prof, m)
+	l := a.Align(context.Background(), mod, prof, m)
 	for fi, f := range mod.Funcs {
 		n := len(f.Blocks)
 		if n < 2 || n > 12 {
@@ -117,8 +118,8 @@ func TestBoundsSandwich(t *testing.T) {
 	m := machine.Alpha21164()
 	hk := HeldKarpLowerBound(mod, prof, m, tsp.HeldKarpOptions{})
 	ap := AssignmentLowerBound(mod, prof, m)
-	tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(mod, prof, m), prof, m)
-	origPen := layout.ModulePenalty(mod, Original{}.Align(mod, prof, m), prof, m)
+	tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(context.Background(), mod, prof, m), prof, m)
+	origPen := layout.ModulePenalty(mod, Original{}.Align(context.Background(), mod, prof, m), prof, m)
 	if ap > tspPen {
 		t.Errorf("AP bound %d exceeds TSP penalty %d", ap, tspPen)
 	}
@@ -154,7 +155,7 @@ func TestGreedyHandlesZeroProfile(t *testing.T) {
 	prof := interp.NewProfile(mod)
 	m := machine.Alpha21164()
 	for _, a := range []Aligner{PettisHansen{}, &CalderGrunwald{}, NewTSP(1)} {
-		l := a.Align(mod, prof, m)
+		l := a.Align(context.Background(), mod, prof, m)
 		if err := l.Validate(mod); err != nil {
 			t.Errorf("%s on zero profile: %v", a.Name(), err)
 		}
@@ -185,7 +186,7 @@ func main(input[], n) {
 		t.Fatal(err)
 	}
 	m := machine.Alpha21164()
-	l := PettisHansen{}.Align(mod, prof, m)
+	l := PettisHansen{}.Align(context.Background(), mod, prof, m)
 	f := mod.Funcs[mod.EntryFunc]
 	fp := prof.Funcs[mod.EntryFunc]
 	fl := l.Funcs[mod.EntryFunc]
@@ -236,8 +237,8 @@ func TestDeterministicAlignment(t *testing.T) {
 		func() Aligner { return NewTSP(7) },
 	} {
 		a1, a2 := mk(), mk()
-		l1 := a1.Align(mod, prof, m)
-		l2 := a2.Align(mod, prof, m)
+		l1 := a1.Align(context.Background(), mod, prof, m)
+		l2 := a2.Align(context.Background(), mod, prof, m)
 		for fi := range l1.Funcs {
 			for k := range l1.Funcs[fi].Order {
 				if l1.Funcs[fi].Order[k] != l2.Funcs[fi].Order[k] {
@@ -265,8 +266,8 @@ func TestAlignerNames(t *testing.T) {
 func TestDeepPipeIncreasesAlignmentBenefit(t *testing.T) {
 	mod, prof := compileBranchy(t)
 	benefit := func(m machine.Model) layout.Cost {
-		orig := layout.ModulePenalty(mod, Original{}.Align(mod, prof, m), prof, m)
-		tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(mod, prof, m), prof, m)
+		orig := layout.ModulePenalty(mod, Original{}.Align(context.Background(), mod, prof, m), prof, m)
+		tspPen := layout.ModulePenalty(mod, NewTSP(1).Align(context.Background(), mod, prof, m), prof, m)
 		return orig - tspPen
 	}
 	shallow := benefit(machine.ShallowPipe())
@@ -284,8 +285,8 @@ func TestParallelAlignmentIdentical(t *testing.T) {
 	seq := NewTSP(5)
 	par := NewTSP(5)
 	par.Parallel = true
-	l1 := seq.Align(mod, prof, m)
-	l2 := par.Align(mod, prof, m)
+	l1 := seq.Align(context.Background(), mod, prof, m)
+	l2 := par.Align(context.Background(), mod, prof, m)
 	for fi := range l1.Funcs {
 		for k := range l1.Funcs[fi].Order {
 			if l1.Funcs[fi].Order[k] != l2.Funcs[fi].Order[k] {

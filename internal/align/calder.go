@@ -1,6 +1,8 @@
 package align
 
 import (
+	"context"
+
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
@@ -28,7 +30,7 @@ type CalderGrunwald struct {
 func (*CalderGrunwald) Name() string { return "calder-grunwald" }
 
 // Align implements Aligner.
-func (cg *CalderGrunwald) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+func (cg *CalderGrunwald) Align(_ context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
 	maxChains := cg.MaxExhaustiveChains
 	if maxChains <= 0 {
 		maxChains = 6

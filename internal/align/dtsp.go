@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -125,32 +126,50 @@ func NewTSP(seed int64) *TSP {
 // Name implements Aligner.
 func (*TSP) Name() string { return "tsp" }
 
-// Align implements Aligner.
-func (t *TSP) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+// Align implements Aligner. A cancelled ctx (or an exhausted
+// t.Opts.Budget) truncates each in-flight per-function solve at its next
+// kick boundary and finalizes the best-so-far block orders; the returned
+// layout is always valid.
+func (t *TSP) Align(ctx context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
 	opts := t.Opts
 	if opts.GreedyStarts == 0 && opts.NNStarts == 0 && opts.IdentityStarts == 0 {
-		opts = tsp.PaperSolveOptions(1)
+		def := tsp.PaperSolveOptions(1)
+		def.Context, def.Budget = opts.Context, opts.Budget
+		opts = def
+	}
+	if ctx != nil {
+		opts.Context = ctx
 	}
 	orders := make([][]int, len(mod.Funcs))
-	if t.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for fi, f := range mod.Funcs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(fi int, f *ir.Func) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				orders[fi] = t.alignFunc(f, prof.Funcs[fi], m, opts, int64(fi))
-			}(fi, f)
-		}
-		wg.Wait()
-	} else {
-		for fi, f := range mod.Funcs {
-			orders[fi] = t.alignFunc(f, prof.Funcs[fi], m, opts, int64(fi))
-		}
-	}
+	forEachFunc(mod, t.Parallel, func(fi int, f *ir.Func) {
+		orders[fi] = t.alignFunc(f, prof.Funcs[fi], m, opts, int64(fi))
+	})
 	return finalizeOrders(mod, prof, m, orders)
+}
+
+// forEachFunc evaluates fn(fi, f) for every function of the module — on
+// all CPUs when parallel is true, sequentially otherwise. Functions are
+// independent and results are written by index, so the parallel schedule
+// is observationally identical to the sequential loop.
+func forEachFunc(mod *ir.Module, parallel bool, fn func(fi int, f *ir.Func)) {
+	if !parallel {
+		for fi, f := range mod.Funcs {
+			fn(fi, f)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for fi, f := range mod.Funcs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fi int, f *ir.Func) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(fi, f)
+		}(fi, f)
+	}
+	wg.Wait()
 }
 
 // AlignFuncResult carries per-function solver diagnostics, used by the
@@ -168,6 +187,10 @@ type AlignFuncResult struct {
 	// moves examined and applied across all runs (see tsp.Result).
 	IterationsToBest          int
 	MovesTried, MovesAccepted int64
+	// Kicks totals the kick rounds performed; Truncated marks a solve
+	// cut short by its context or budget (see tsp.Result).
+	Kicks     int64
+	Truncated bool
 }
 
 func (t *TSP) alignFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) []int {
@@ -211,7 +234,9 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 	out.IterationsToBest = res.IterationsToBest
 	out.MovesTried = res.MovesTried
 	out.MovesAccepted = res.MovesAccepted
-	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", res.Exact),
+	out.Kicks = res.Kicks
+	out.Truncated = res.Truncated
+	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", res.Exact), obs.Bool("truncated", res.Truncated),
 		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
 		obs.Int("iter_best", int64(res.IterationsToBest)),
 		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted))
@@ -224,18 +249,9 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 // the result is identical to the sequential loop.
 func eachFuncBound(mod *ir.Module, bound func(fi int, f *ir.Func) layout.Cost) layout.Cost {
 	per := make([]layout.Cost, len(mod.Funcs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for fi, f := range mod.Funcs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(fi int, f *ir.Func) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			per[fi] = bound(fi, f)
-		}(fi, f)
-	}
-	wg.Wait()
+	forEachFunc(mod, true, func(fi int, f *ir.Func) {
+		per[fi] = bound(fi, f)
+	})
 	var total layout.Cost
 	for _, c := range per {
 		total += c
@@ -256,27 +272,50 @@ func HeldKarpLowerBound(mod *ir.Module, prof *interp.Profile, m machine.Model, o
 	})
 }
 
+// FuncBoundResult carries one function's Held-Karp bound with its
+// anytime diagnostics.
+type FuncBoundResult struct {
+	// Bound is a valid lower bound on the function's control penalty.
+	Bound layout.Cost
+	// Exact is true when the function was small enough to bound by its
+	// true optimum (exact DP) or trivially (single block).
+	Exact bool
+	// Truncated is true when the subgradient ascent was cut short by its
+	// context or budget; the bound is still valid, just weaker.
+	Truncated bool
+	// Iterations is the number of subgradient iterates evaluated (0 for
+	// exact bounds).
+	Iterations int
+}
+
 // FuncHeldKarpBound computes the Held-Karp bound for a single function's
 // DTSP instance. Functions small enough for exact solving are bounded by
 // their true optimum. When opts.Obs is set, the bound computation is
 // recorded as an "align.hk" span (with the subgradient trajectory
 // nested under it).
 func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.HeldKarpOptions) layout.Cost {
+	return FuncHeldKarpBoundResult(f, fp, m, opts).Bound
+}
+
+// FuncHeldKarpBoundResult is FuncHeldKarpBound with the full anytime
+// result (truncation flag, iterate count), used by budgeted callers.
+func FuncHeldKarpBoundResult(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.HeldKarpOptions) FuncBoundResult {
 	n := len(f.Blocks)
 	sp := opts.Obs.Child("align.hk", obs.String("func", f.Name), obs.Int("cities", int64(n)))
 	opts.Obs = sp
 	if n == 1 {
 		sp.End(obs.Int("bound", 0), obs.Bool("exact", true))
-		return 0
+		return FuncBoundResult{Exact: true}
 	}
 	pred := layout.Predictions(f, fp)
 	mat := BuildSparseMatrix(f, fp, pred, m)
 	if n <= 12 {
 		_, opt := tsp.SolveExact(mat)
 		sp.End(obs.Int("bound", opt), obs.Bool("exact", true))
-		return opt
+		return FuncBoundResult{Bound: opt, Exact: true}
 	}
-	b := tsp.HeldKarpDirected(mat, opts)
+	hk := tsp.HeldKarpBound(mat, opts)
+	b := hk.Bound
 	if b < 0 {
 		b = 0 // costs are non-negative; clamp numerical noise
 	}
@@ -286,8 +325,8 @@ func FuncHeldKarpBound(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts
 	if float64(c) < b {
 		c++
 	}
-	sp.End(obs.Int("bound", int64(c)))
-	return c
+	sp.End(obs.Int("bound", int64(c)), obs.Bool("truncated", hk.Truncated))
+	return FuncBoundResult{Bound: c, Truncated: hk.Truncated, Iterations: hk.Iterations}
 }
 
 // BuildMatrixForFunc is BuildMatrix with predictions derived internally,

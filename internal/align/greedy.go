@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"sort"
 
 	"branchalign/internal/interp"
@@ -20,7 +21,7 @@ type PettisHansen struct{}
 func (PettisHansen) Name() string { return "greedy" }
 
 // Align implements Aligner.
-func (PettisHansen) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+func (PettisHansen) Align(_ context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
 	orders := make([][]int, len(mod.Funcs))
 	for fi, f := range mod.Funcs {
 		w := frequencyWeights(f, prof.Funcs[fi])

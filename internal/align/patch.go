@@ -1,6 +1,8 @@
 package align
 
 import (
+	"context"
+
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
 	"branchalign/internal/layout"
@@ -21,7 +23,7 @@ type APPatch struct{}
 func (APPatch) Name() string { return "ap-patch" }
 
 // Align implements Aligner.
-func (APPatch) Align(mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
+func (APPatch) Align(_ context.Context, mod *ir.Module, prof *interp.Profile, m machine.Model) *layout.Layout {
 	orders := make([][]int, len(mod.Funcs))
 	for fi, f := range mod.Funcs {
 		if len(f.Blocks) == 1 {

@@ -6,6 +6,7 @@ package align_test
 // pinned by the independent emitted-form model in internal/check.
 
 import (
+	"context"
 	"testing"
 
 	"branchalign/internal/align"
@@ -214,7 +215,7 @@ func TestAlignerLayoutsRoundTrip(t *testing.T) {
 	m := machine.Alpha21164()
 	inversions, fixups := 0, 0
 	for _, a := range []align.Aligner{align.Original{}, align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, align.NewTSP(1)} {
-		l := a.Align(mod, prof, m)
+		l := a.Align(context.Background(), mod, prof, m)
 		for fi, f := range mod.Funcs {
 			fl := l.Funcs[fi]
 			em := check.Emit(f, fl)

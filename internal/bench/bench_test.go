@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"branchalign/internal/align"
@@ -200,7 +201,7 @@ func TestSemanticsPreservedUnderAnyLayout(t *testing.T) {
 		}
 		m := machine.Alpha21164()
 		for _, a := range []align.Aligner{align.PettisHansen{}, align.NewTSP(1)} {
-			l := a.Align(mod, prof, m)
+			l := a.Align(context.Background(), mod, prof, m)
 			if err := l.Validate(mod); err != nil {
 				t.Fatalf("%s/%s: %v", b.Name, a.Name(), err)
 			}
@@ -268,8 +269,8 @@ func TestSynthAlignmentEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		orig := layout.ModulePenalty(mod, align.Original{}.Align(mod, prof, m), prof, m)
-		tspL := align.NewTSP(1).Align(mod, prof, m)
+		orig := layout.ModulePenalty(mod, align.Original{}.Align(context.Background(), mod, prof, m), prof, m)
+		tspL := align.NewTSP(1).Align(context.Background(), mod, prof, m)
 		if err := tspL.Validate(mod); err != nil {
 			t.Fatalf("blocks=%d: %v", blocks, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"branchalign/internal/align"
@@ -104,8 +105,8 @@ func TestGo95Aligns(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := machine.Alpha21164()
-	orig := layout.ModulePenalty(mod, align.Original{}.Align(mod, prof, m), prof, m)
-	tspL := align.NewTSP(1).Align(mod, prof, m)
+	orig := layout.ModulePenalty(mod, align.Original{}.Align(context.Background(), mod, prof, m), prof, m)
+	tspL := align.NewTSP(1).Align(context.Background(), mod, prof, m)
 	if err := tspL.Validate(mod); err != nil {
 		t.Fatal(err)
 	}

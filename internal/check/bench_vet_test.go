@@ -1,6 +1,7 @@
 package check_test
 
 import (
+	"context"
 	"testing"
 
 	"branchalign/internal/align"
@@ -39,7 +40,7 @@ func TestVetAllBenchmarks(t *testing.T) {
 				t.Fatalf("profiling run failed: %v", err)
 			}
 			for _, a := range aligners {
-				l := a.Align(mod, prof, model)
+				l := a.Align(context.Background(), mod, prof, model)
 				r := check.All(mod, prof, l, model, check.Options{
 					Bounds:        true,
 					BoundsOptions: check.BoundsOptions{HKIterations: 120},

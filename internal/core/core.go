@@ -6,7 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"branchalign/internal/align"
 	"branchalign/internal/bench"
@@ -41,6 +43,11 @@ type Suite struct {
 	// cmd/experiments -events wires this to an NDJSON trace.
 	Obs *obs.Span
 
+	// mu guards the lazy caches below. Suites are safe for concurrent
+	// use: parallel LayoutsOf/ProfileOf calls on the same key compute
+	// once and share the cached value (computation happens under the
+	// lock, so concurrent callers serialize rather than duplicate work).
+	mu         sync.Mutex
 	benchmarks []*bench.Benchmark
 	mods       map[string]*ir.Module
 	profiles   map[string]*profileRun
@@ -92,6 +99,12 @@ func (s *Suite) Benchmarks() []*bench.Benchmark { return s.benchmarks }
 
 // Module compiles (and caches) a benchmark.
 func (s *Suite) Module(b *bench.Benchmark) (*ir.Module, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moduleLocked(b)
+}
+
+func (s *Suite) moduleLocked(b *bench.Benchmark) (*ir.Module, error) {
 	if m, ok := s.mods[b.Name]; ok {
 		return m, nil
 	}
@@ -118,11 +131,17 @@ func (s *Suite) hkOpts() tsp.HeldKarpOptions {
 // ProfileOf runs (and caches) the profiling execution of b on ds — the
 // "instrumented program" run of the paper's methodology.
 func (s *Suite) ProfileOf(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profile, interp.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.profileLocked(b, ds)
+}
+
+func (s *Suite) profileLocked(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profile, interp.Result, error) {
 	key := dsKey(b, ds)
 	if pr, ok := s.profiles[key]; ok {
 		return pr.prof, pr.res, nil
 	}
-	mod, err := s.Module(b)
+	mod, err := s.moduleLocked(b)
 	if err != nil {
 		return nil, interp.Result{}, err
 	}
@@ -141,11 +160,13 @@ func (s *Suite) ProfileOf(b *bench.Benchmark, ds *bench.DataSet) (*interp.Profil
 // TraceOf records (and caches) the dynamic edge trace of b on ds, shared
 // by all layout simulations of that run.
 func (s *Suite) TraceOf(b *bench.Benchmark, ds *bench.DataSet) (*pipe.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := dsKey(b, ds)
 	if tr, ok := s.traces[key]; ok {
 		return tr, nil
 	}
-	mod, err := s.Module(b)
+	mod, err := s.moduleLocked(b)
 	if err != nil {
 		return nil, err
 	}
@@ -170,31 +191,37 @@ func (s *Suite) Aligners() []align.Aligner {
 	}
 }
 
-// AlignAll produces the three layouts for a training profile.
-func (s *Suite) AlignAll(mod *ir.Module, prof *interp.Profile) map[string]*layout.Layout {
+// AlignAll produces the three layouts for a training profile. ctx
+// cancellation truncates the TSP aligner's in-flight solves at their
+// next kick boundary (the layouts remain valid; see align.Aligner).
+func (s *Suite) AlignAll(ctx context.Context, mod *ir.Module, prof *interp.Profile) map[string]*layout.Layout {
 	out := map[string]*layout.Layout{}
 	for _, a := range s.Aligners() {
-		out[a.Name()] = a.Align(mod, prof, s.Model)
+		out[a.Name()] = a.Align(ctx, mod, prof, s.Model)
 	}
 	return out
 }
 
 // LayoutsOf returns (and caches) the three layouts trained on the given
-// data set's profile.
-func (s *Suite) LayoutsOf(b *bench.Benchmark, ds *bench.DataSet) (map[string]*layout.Layout, error) {
+// data set's profile. Cancelled contexts produce truncated (but valid)
+// TSP layouts; those are still cached, matching the anytime contract —
+// callers that need full-quality layouts should pass an uncancelled ctx.
+func (s *Suite) LayoutsOf(ctx context.Context, b *bench.Benchmark, ds *bench.DataSet) (map[string]*layout.Layout, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := dsKey(b, ds)
 	if ls, ok := s.layouts[key]; ok {
 		return ls, nil
 	}
-	mod, err := s.Module(b)
+	mod, err := s.moduleLocked(b)
 	if err != nil {
 		return nil, err
 	}
-	prof, _, err := s.ProfileOf(b, ds)
+	prof, _, err := s.profileLocked(b, ds)
 	if err != nil {
 		return nil, err
 	}
-	ls := s.AlignAll(mod, prof)
+	ls := s.AlignAll(ctx, mod, prof)
 	s.layouts[key] = ls
 	return ls, nil
 }

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"sync"
 	"testing"
+
+	"branchalign/internal/interp"
+	"branchalign/internal/layout"
 )
 
 // fastSuite restricts the suite to three benchmarks to keep test time
@@ -210,11 +215,11 @@ func TestSuiteCaches(t *testing.T) {
 	if p1 != p2 {
 		t.Error("profile not cached")
 	}
-	l1, err := s.LayoutsOf(b, ds)
+	l1, err := s.LayoutsOf(context.Background(), b, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := s.LayoutsOf(b, ds)
+	l2, err := s.LayoutsOf(context.Background(), b, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,5 +242,61 @@ func TestSuiteCaches(t *testing.T) {
 func TestWithBenchmarksRejectsUnknown(t *testing.T) {
 	if _, err := NewSuite(1).WithBenchmarks("nonesuch"); err == nil {
 		t.Error("expected error")
+	}
+}
+
+// TestSuiteConcurrentUse pins that one Suite is safe for concurrent
+// callers: parallel ProfileOf/LayoutsOf/Module/TraceOf over overlapping
+// keys must neither race (run under -race in CI) nor compute a cached
+// value twice — every goroutine must observe the same pointers.
+func TestSuiteConcurrentUse(t *testing.T) {
+	s := fastSuite(t)
+	benches := s.Benchmarks()
+
+	type got struct {
+		prof    *interp.Profile
+		layouts map[string]*layout.Layout
+	}
+	const workers = 8
+	results := make([]map[string]got, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = map[string]got{}
+			for _, b := range benches {
+				ds := &b.DataSets[0]
+				prof, _, err := s.ProfileOf(b, ds)
+				if err != nil {
+					t.Errorf("ProfileOf(%s): %v", b.Name, err)
+					return
+				}
+				layouts, err := s.LayoutsOf(context.Background(), b, ds)
+				if err != nil {
+					t.Errorf("LayoutsOf(%s): %v", b.Name, err)
+					return
+				}
+				if _, err := s.Module(b); err != nil {
+					t.Errorf("Module(%s): %v", b.Name, err)
+					return
+				}
+				results[w][b.Name] = got{prof: prof, layouts: layouts}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for w := 1; w < workers; w++ {
+		for _, b := range benches {
+			if results[w][b.Name].prof != results[0][b.Name].prof {
+				t.Errorf("%s: worker %d computed a second profile", b.Name, w)
+			}
+			if results[w][b.Name].layouts["tsp"] != results[0][b.Name].layouts["tsp"] {
+				t.Errorf("%s: worker %d computed a second layout set", b.Name, w)
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"branchalign/internal/align"
@@ -85,7 +86,7 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 		row.ProfileMS = msSince(t0)
 
 		t0 = time.Now()
-		align.PettisHansen{}.Align(mod, prof, s.Model)
+		align.PettisHansen{}.Align(context.Background(), mod, prof, s.Model)
 		row.GreedyMS = msSince(t0)
 
 		t0 = time.Now()
@@ -197,7 +198,7 @@ func (s *Suite) Fig2() ([]Fig2Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			layouts, err := s.LayoutsOf(b, ds)
+			layouts, err := s.LayoutsOf(context.Background(), b, ds)
 			if err != nil {
 				return nil, err
 			}
@@ -269,11 +270,11 @@ func (s *Suite) Fig3() ([]Fig3Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			selfLayouts, err := s.LayoutsOf(b, test)
+			selfLayouts, err := s.LayoutsOf(context.Background(), b, test)
 			if err != nil {
 				return nil, err
 			}
-			crossLayouts, err := s.LayoutsOf(b, train)
+			crossLayouts, err := s.LayoutsOf(context.Background(), b, train)
 			if err != nil {
 				return nil, err
 			}

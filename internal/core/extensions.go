@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"branchalign/internal/align"
 	"branchalign/internal/bench"
 	"branchalign/internal/interp"
@@ -43,8 +45,8 @@ func (s *Suite) ExtCacheAware(extra Cost) ([]CacheAwareRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			plainL := align.NewTSP(s.Seed).Align(mod, prof, s.Model)
-			awareL := align.NewTSP(s.Seed).Align(mod, prof, awareModel)
+			plainL := align.NewTSP(s.Seed).Align(context.Background(), mod, prof, s.Model)
+			awareL := align.NewTSP(s.Seed).Align(context.Background(), mod, prof, awareModel)
 			plainSim, err := s.SimulateCycles(b, ds, mod, plainL)
 			if err != nil {
 				return nil, err
@@ -93,7 +95,7 @@ func (s *Suite) ExtProcOrder() ([]ProcOrderRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			layouts, err := s.LayoutsOf(b, ds)
+			layouts, err := s.LayoutsOf(context.Background(), b, ds)
 			if err != nil {
 				return nil, err
 			}
@@ -161,8 +163,8 @@ func (s *Suite) ExtOptimize() ([]OptimizeRow, error) {
 			if _, err := interp.Run(m, ds.Make(), interp.Options{Profile: prof, MaxSteps: s.MaxSteps}); err != nil {
 				return 0, 0, err
 			}
-			orig := layout.ModulePenalty(m, align.Original{}.Align(m, prof, s.Model), prof, s.Model)
-			tspCP := layout.ModulePenalty(m, align.NewTSP(s.Seed).Align(m, prof, s.Model), prof, s.Model)
+			orig := layout.ModulePenalty(m, align.Original{}.Align(context.Background(), m, prof, s.Model), prof, s.Model)
+			tspCP := layout.ModulePenalty(m, align.NewTSP(s.Seed).Align(context.Background(), m, prof, s.Model), prof, s.Model)
 			norm := 1.0
 			if orig > 0 {
 				norm = float64(tspCP) / float64(orig)
@@ -221,7 +223,7 @@ func (s *Suite) ExtUnionTraining() ([]UnionRow, error) {
 				return nil, err
 			}
 		}
-		unionLayout := align.NewTSP(s.Seed).Align(mod, union, s.Model)
+		unionLayout := align.NewTSP(s.Seed).Align(context.Background(), mod, union, s.Model)
 		for i := range b.DataSets {
 			test := &b.DataSets[i]
 			train := &b.DataSets[(i+1)%len(b.DataSets)]
@@ -229,11 +231,11 @@ func (s *Suite) ExtUnionTraining() ([]UnionRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			selfLayouts, err := s.LayoutsOf(b, test)
+			selfLayouts, err := s.LayoutsOf(context.Background(), b, test)
 			if err != nil {
 				return nil, err
 			}
-			crossLayouts, err := s.LayoutsOf(b, train)
+			crossLayouts, err := s.LayoutsOf(context.Background(), b, train)
 			if err != nil {
 				return nil, err
 			}
@@ -279,7 +281,7 @@ func (s *Suite) ExtPredictor(predCfg pipe.PredictorConfig) ([]PredictorRow, erro
 		}
 		for i := range b.DataSets {
 			ds := &b.DataSets[i]
-			layouts, err := s.LayoutsOf(b, ds)
+			layouts, err := s.LayoutsOf(context.Background(), b, ds)
 			if err != nil {
 				return nil, err
 			}

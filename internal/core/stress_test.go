@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,11 +47,11 @@ func TestStressLargeModule(t *testing.T) {
 	t.Logf("stress module: %d functions, %d blocks", len(mod.Funcs), totalBlocks)
 
 	m := machine.Alpha21164()
-	orig := layout.ModulePenalty(mod, align.Original{}.Align(mod, prof, m), prof, m)
+	orig := layout.ModulePenalty(mod, align.Original{}.Align(context.Background(), mod, prof, m), prof, m)
 
 	a := align.NewTSP(1)
 	a.Parallel = true
-	l := a.Align(mod, prof, m)
+	l := a.Align(context.Background(), mod, prof, m)
 	if err := l.Validate(mod); err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestStressLargeModule(t *testing.T) {
 		t.Errorf("TSP worsened the stress module: %d -> %d", orig, tspCP)
 	}
 
-	greedyCP := layout.ModulePenalty(mod, align.PettisHansen{}.Align(mod, prof, m), prof, m)
+	greedyCP := layout.ModulePenalty(mod, align.PettisHansen{}.Align(context.Background(), mod, prof, m), prof, m)
 	if tspCP > greedyCP {
 		t.Errorf("TSP (%d) behind greedy (%d) on stress module", tspCP, greedyCP)
 	}

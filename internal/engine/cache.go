@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// requestKey derives the cache/deduplication key for a request: a
+// digest over everything that determines the computed layout — the
+// module, the profile, the machine model, the solver seed, and the
+// budget's work caps. The budget's wall-clock deadline and the
+// telemetry sink are deliberately excluded: they change when (and how
+// observably) the answer arrives, not what the answer is.
+func requestKey(req Request) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, req.Module.String())
+	if err := req.Profile.WriteJSON(h); err != nil {
+		return "", fmt.Errorf("engine: hashing profile: %w", err)
+	}
+	// machine.Model is all scalars, so its fmt image is a faithful key
+	// component.
+	fmt.Fprintf(h, "|model=%+v|seed=%d|kicks=%d|hkiters=%d|bound=%v|iters=%d",
+		req.Model, req.Seed, req.Budget.MaxKicks, req.Budget.MaxHKIterations,
+		req.Bound, req.HKIterations)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// lru is a minimal least-recently-used result cache. Callers hold the
+// engine mutex; lru itself is not safe for concurrent use.
+type lru struct {
+	max   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *lru) get(key string) (*Result, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lru) put(key string, res *Result) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}

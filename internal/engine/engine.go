@@ -1,0 +1,349 @@
+// Package engine is the context-aware alignment engine: a concurrent,
+// caching front end over the align/tsp pipeline. It exists so that
+// request-driven callers (the balignd server, long-lived tools) get
+//
+//   - a bounded worker pool shared across requests: no matter how many
+//     alignments run at once, at most Options.Workers per-function
+//     solves execute concurrently;
+//   - per-request deterministic randomness: each request's solver seed
+//     derives only from the request (seed + function index), never from
+//     shared mutable state, so identical requests give identical
+//     layouts regardless of interleaving;
+//   - a keyed result cache with single-flight deduplication: identical
+//     in-flight requests are coalesced onto one computation, and
+//     completed untruncated results are reused. Truncated (deadline- or
+//     budget-cut) results are never cached and never shared with
+//     concurrent duplicates, because a duplicate may carry a more
+//     generous budget and deserves the full-quality answer.
+//
+// Cancellation follows the anytime contract of the underlying solvers:
+// a cancelled context truncates each in-flight per-function solve at
+// its next kick (or subgradient-iterate) boundary and the engine
+// finalizes best-so-far orders into a valid — merely weaker — layout,
+// flagged Result.Truncated.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"branchalign/internal/align"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/obs"
+	"branchalign/internal/tsp"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of per-function solves running
+	// concurrently across all requests. 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the result cache (least-recently-used
+	// eviction). 0 means 64; negative disables caching.
+	CacheEntries int
+}
+
+// Request describes one alignment job. Module and Profile are borrowed
+// for the duration of the call and must not be mutated concurrently.
+type Request struct {
+	Module  *ir.Module
+	Profile *interp.Profile
+	Model   machine.Model
+
+	// Seed is the solver seed (function i solves with Seed+i, as the
+	// align.TSP aligner does). The zero seed is valid and deterministic.
+	Seed int64
+
+	// Budget bounds the per-function solves (and bound computations, for
+	// the iterate cap). The deadline also cooperates with the ctx passed
+	// to Align. Budgets are part of the cache key only through their
+	// work caps, never the wall-clock deadline: two requests that differ
+	// only in deadline are the same computation.
+	Budget tsp.Budget
+
+	// Bound additionally computes the per-function Held-Karp lower
+	// bounds (HKIterations subgradient iterates, default 1000).
+	Bound        bool
+	HKIterations int
+
+	// Obs, when non-nil, is the parent span request telemetry is
+	// recorded under. Not part of the cache key.
+	Obs *obs.Span
+}
+
+// FuncStat is the per-function outcome of a request.
+type FuncStat struct {
+	Name      string `json:"name"`
+	Cities    int    `json:"cities"`
+	Order     []int  `json:"order"`
+	Cost      int64  `json:"cost"`
+	Exact     bool   `json:"exact"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Kicks     int64  `json:"kicks"`
+	// Bound and GapPct are present when the request asked for bounds.
+	Bound  int64   `json:"bound,omitempty"`
+	GapPct float64 `json:"gap_pct,omitempty"`
+}
+
+// Result is the outcome of one alignment request. Results may be shared
+// between concurrent and future requests (cache hits return the same
+// pointers), so callers must treat every field as immutable.
+type Result struct {
+	// Layout is the TSP-aligned module layout; always valid.
+	Layout *layout.Layout
+	// Penalty and OriginalPenalty are the control penalties of Layout
+	// and of the compiler order on the training profile.
+	Penalty         layout.Cost
+	OriginalPenalty layout.Cost
+	// Bound is the summed Held-Karp lower bound (0 unless requested).
+	Bound layout.Cost
+	// Truncated reports that at least one per-function solve (or bound)
+	// was cut short by the context or budget.
+	Truncated bool
+	// CacheHit reports that the result was served from the cache;
+	// Coalesced that it was shared with a concurrent identical request.
+	CacheHit  bool
+	Coalesced bool
+	Funcs     []FuncStat
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	Solved    int64 `json:"solved"`
+	Truncated int64 `json:"truncated"`
+	Errors    int64 `json:"errors"`
+	InFlight  int64 `json:"in_flight"`
+}
+
+// Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	sem chan struct{}
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[string]*call
+	stats    Stats
+}
+
+// call is one in-flight computation other identical requests can wait
+// on (hand-rolled single-flight; the repo carries no dependencies).
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// New returns an Engine with the given options.
+func New(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	entries := o.CacheEntries
+	if entries == 0 {
+		entries = 64
+	}
+	return &Engine{
+		sem:      make(chan struct{}, o.Workers),
+		cache:    newLRU(entries),
+		inflight: map[string]*call{},
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Align runs one alignment request. It returns an error only for
+// malformed requests; cancellation and deadline expiry yield a valid
+// truncated Result, never an error (the anytime contract).
+func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
+	if req.Module == nil || req.Profile == nil {
+		return nil, fmt.Errorf("engine: request needs Module and Profile")
+	}
+	if len(req.Profile.Funcs) != len(req.Module.Funcs) {
+		return nil, fmt.Errorf("engine: profile has %d functions, module has %d",
+			len(req.Profile.Funcs), len(req.Module.Funcs))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key, err := requestKey(req)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.stats.Requests++
+	for {
+		if res, ok := e.cache.get(key); ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			hit := *res
+			hit.CacheHit = true
+			return &hit, nil
+		}
+		c, ok := e.inflight[key]
+		if !ok {
+			break
+		}
+		// Identical request already running: wait for it rather than
+		// duplicating the work.
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			// This request's deadline expired while waiting on a peer.
+			// The anytime contract still applies: solve directly with
+			// the expired context, which truncates at the first budget
+			// check and yields a valid best-effort layout.
+			res, err := e.solve(ctx, req)
+			e.mu.Lock()
+			if err != nil {
+				e.stats.Errors++
+			} else {
+				e.stats.Solved++
+				if res.Truncated {
+					e.stats.Truncated++
+				}
+			}
+			e.mu.Unlock()
+			return res, err
+		}
+		if c.err == nil && !c.res.Truncated {
+			e.mu.Lock()
+			e.stats.Coalesced++
+			e.mu.Unlock()
+			shared := *c.res
+			shared.Coalesced = true
+			return &shared, nil
+		}
+		// The leader was truncated under its own deadline (or failed);
+		// this request may have a longer one — retry from the top.
+		e.mu.Lock()
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.stats.InFlight++
+	e.mu.Unlock()
+
+	res, err := e.solve(ctx, req)
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.stats.InFlight--
+	if err != nil {
+		e.stats.Errors++
+	} else {
+		e.stats.Solved++
+		if res.Truncated {
+			e.stats.Truncated++
+		} else {
+			e.cache.put(key, res)
+		}
+	}
+	e.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+	return res, err
+}
+
+// solve performs the actual per-function fan-out under the shared
+// worker pool.
+func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
+	mod, prof := req.Module, req.Profile
+	opts := tsp.PaperSolveOptions(req.Seed)
+	opts.Context = ctx
+	opts.Budget = req.Budget
+
+	hkIters := req.HKIterations
+	if hkIters <= 0 {
+		hkIters = 1000
+	}
+	hkOpts := tsp.HeldKarpOptions{
+		Iterations: hkIters,
+		Context:    ctx,
+		Budget:     req.Budget,
+	}
+
+	t := &align.TSP{Opts: opts, Obs: req.Obs}
+	n := len(mod.Funcs)
+	orders := make([][]int, n)
+	stats := make([]FuncStat, n)
+	bounds := make([]align.FuncBoundResult, n)
+
+	var wg sync.WaitGroup
+	for fi, f := range mod.Funcs {
+		wg.Add(1)
+		e.sem <- struct{}{} // shared pool: bounds solves across requests
+		go func(fi int, f *ir.Func) {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			fr := t.SolveFunc(f, prof.Funcs[fi], req.Model, opts, int64(fi))
+			orders[fi] = fr.Order
+			stats[fi] = FuncStat{
+				Name:      f.Name,
+				Cities:    fr.Cities,
+				Order:     fr.Order,
+				Cost:      int64(fr.Cost),
+				Exact:     fr.Exact,
+				Truncated: fr.Truncated,
+				Kicks:     fr.Kicks,
+			}
+			if req.Bound {
+				ho := hkOpts
+				ho.Obs = req.Obs
+				bounds[fi] = align.FuncHeldKarpBoundResult(f, prof.Funcs[fi], req.Model, ho)
+			}
+		}(fi, f)
+	}
+	wg.Wait()
+
+	res := &Result{Funcs: stats}
+	l := &layout.Layout{}
+	for fi, f := range mod.Funcs {
+		l.Funcs = append(l.Funcs, layout.Finalize(f, prof.Funcs[fi], orders[fi], req.Model))
+		if stats[fi].Truncated {
+			res.Truncated = true
+		}
+		if req.Bound {
+			b := bounds[fi]
+			res.Bound += b.Bound
+			res.Funcs[fi].Bound = int64(b.Bound)
+			res.Funcs[fi].GapPct = gapPct(res.Funcs[fi].Cost, int64(b.Bound))
+			if b.Truncated {
+				res.Truncated = true
+			}
+		}
+	}
+	if err := l.Validate(mod); err != nil {
+		return nil, fmt.Errorf("engine: solver produced invalid layout: %w", err)
+	}
+	res.Layout = l
+	res.Penalty = layout.ModulePenalty(mod, l, prof, req.Model)
+	orig := layout.Identity(mod, prof, req.Model)
+	res.OriginalPenalty = layout.ModulePenalty(mod, orig, prof, req.Model)
+	return res, nil
+}
+
+// gapPct is the relative optimality gap in percent, clamped at zero.
+func gapPct(cost, bound int64) float64 {
+	if cost <= 0 {
+		return 0
+	}
+	g := float64(cost-bound) / float64(cost) * 100
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"branchalign/internal/align"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/testutil"
+	"branchalign/internal/tsp"
+)
+
+func branchy(t *testing.T) (*ir.Module, *interp.Profile) {
+	t.Helper()
+	mod, prof, _, err := testutil.CompileAndProfile(testutil.BranchySource, testutil.BranchyInput(400, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, prof
+}
+
+func sameLayout(t *testing.T, a, b *layout.Layout) {
+	t.Helper()
+	if len(a.Funcs) != len(b.Funcs) {
+		t.Fatalf("layouts have %d vs %d functions", len(a.Funcs), len(b.Funcs))
+	}
+	for fi := range a.Funcs {
+		ao, bo := a.Funcs[fi].Order, b.Funcs[fi].Order
+		if len(ao) != len(bo) {
+			t.Fatalf("func %d: order lengths %d vs %d", fi, len(ao), len(bo))
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("func %d: orders diverge at %d: %v vs %v", fi, i, ao, bo)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesAligner pins that the engine is a pure front end:
+// the layout it serves is bit-identical to driving align.TSP directly
+// with the same seed.
+func TestEngineMatchesAligner(t *testing.T) {
+	mod, prof := branchy(t)
+	model := machine.Alpha21164()
+
+	direct := align.NewTSP(3).Align(context.Background(), mod, prof, model)
+
+	e := New(Options{})
+	res, err := e.Align(context.Background(), Request{Module: mod, Profile: prof, Model: model, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("unbudgeted request marked truncated")
+	}
+	sameLayout(t, direct, res.Layout)
+	if want := layout.ModulePenalty(mod, direct, prof, model); res.Penalty != want {
+		t.Fatalf("penalty %d, want %d", res.Penalty, want)
+	}
+}
+
+func TestEngineCacheHit(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{})
+	req := Request{Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 1}
+
+	first, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	second, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical second request missed the cache")
+	}
+	sameLayout(t, first.Layout, second.Layout)
+
+	// A different seed is a different computation.
+	req.Seed = 2
+	third, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Fatal("different seed served from cache")
+	}
+	st := e.Stats()
+	if st.Requests != 3 || st.CacheHits != 1 || st.Solved != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 1 hit / 2 solved", st)
+	}
+}
+
+// TestEngineDeadlineExcludedFromKey pins that two requests differing
+// only in wall-clock deadline share one cache entry.
+func TestEngineDeadlineExcludedFromKey(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{})
+	req := Request{Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 1}
+	if _, err := e.Align(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	req.Budget = tsp.Budget{Deadline: time.Now().Add(time.Hour)}
+	res, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("deadline-only difference missed the cache")
+	}
+}
+
+func TestEngineTruncatedNotCached(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{})
+	req := Request{
+		Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 1,
+		Budget: tsp.Budget{Deadline: time.Now().Add(-time.Second)},
+	}
+	res, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expired deadline did not truncate")
+	}
+	if err := res.Layout.Validate(mod); err != nil {
+		t.Fatalf("truncated layout invalid: %v", err)
+	}
+	// Re-issuing with a live deadline must re-solve (truncated results
+	// are never cached) and come back untruncated.
+	req.Budget = tsp.Budget{}
+	full, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CacheHit || full.Truncated {
+		t.Fatalf("retry after truncation: hit=%v truncated=%v, want fresh full solve",
+			full.CacheHit, full.Truncated)
+	}
+	if full.Penalty > res.Penalty {
+		t.Fatalf("full solve penalty %d worse than truncated %d", full.Penalty, res.Penalty)
+	}
+}
+
+func TestEngineBounds(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{})
+	res, err := e.Align(context.Background(), Request{
+		Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 1,
+		Bound: true, HKIterations: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound <= 0 || res.Bound > res.Penalty {
+		t.Fatalf("bound %d outside (0, penalty=%d]", res.Bound, res.Penalty)
+	}
+	for _, fs := range res.Funcs {
+		if fs.Bound > fs.Cost {
+			t.Fatalf("func %s: bound %d exceeds tour cost %d", fs.Name, fs.Bound, fs.Cost)
+		}
+	}
+}
+
+// TestEngineConcurrentIdenticalCoalesce exercises single-flight: many
+// identical concurrent requests produce identical layouts, and at most
+// a few actual solves (one leader plus stragglers that arrived after it
+// finished and hit the cache).
+func TestEngineConcurrentIdenticalCoalesce(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{Workers: 2})
+	const N = 16
+	results := make([]*Result, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Align(context.Background(), Request{
+				Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 5,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < N; i++ {
+		if results[i] == nil || results[0] == nil {
+			t.Fatal("missing result")
+		}
+		sameLayout(t, results[0].Layout, results[i].Layout)
+	}
+	st := e.Stats()
+	if st.Requests != N {
+		t.Fatalf("requests = %d, want %d", st.Requests, N)
+	}
+	if st.Coalesced+st.CacheHits == 0 {
+		t.Fatal("no request was coalesced or cache-served")
+	}
+	if st.Solved+st.Coalesced+st.CacheHits != N {
+		t.Fatalf("stats don't account for all requests: %+v", st)
+	}
+}
+
+// TestEngineConcurrentMixed hammers the engine with distinct seeds and
+// mixed budgets under the race detector.
+func TestEngineConcurrentMixed(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{Workers: 4, CacheEntries: 8})
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{
+				Module: mod, Profile: prof, Model: machine.Alpha21164(),
+				Seed: int64(i % 6), Bound: i%3 == 0, HKIterations: 100,
+			}
+			if i%4 == 0 {
+				req.Budget = tsp.Budget{MaxKicks: 3}
+			}
+			res, err := e.Align(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := res.Layout.Validate(mod); err != nil {
+				t.Errorf("request %d: invalid layout: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestEngineRejectsMalformedRequest(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{})
+	if _, err := e.Align(context.Background(), Request{Profile: prof}); err == nil {
+		t.Fatal("nil module accepted")
+	}
+	if _, err := e.Align(context.Background(), Request{Module: mod}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := e.Align(context.Background(), Request{Module: mod, Profile: &interp.Profile{}}); err == nil {
+		t.Fatal("mismatched profile accepted")
+	}
+}

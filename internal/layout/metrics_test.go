@@ -1,6 +1,7 @@
 package layout_test
 
 import (
+	"context"
 	"testing"
 
 	"branchalign/internal/align"
@@ -34,7 +35,7 @@ func TestAlignmentRaisesFallthroughRate(t *testing.T) {
 	mod, prof := compileBranchy(t)
 	m := machine.Alpha21164()
 	orig := layout.ModuleMetrics(mod, layout.Identity(mod, prof, m), prof)
-	aligned := layout.ModuleMetrics(mod, align.NewTSP(1).Align(mod, prof, m), prof)
+	aligned := layout.ModuleMetrics(mod, align.NewTSP(1).Align(context.Background(), mod, prof, m), prof)
 	if aligned.FallthroughRate() <= orig.FallthroughRate() {
 		t.Errorf("TSP fall-through rate %.3f not above original %.3f",
 			aligned.FallthroughRate(), orig.FallthroughRate())

@@ -1,6 +1,7 @@
 package pipe
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 func TestSelfCheckCleanRun(t *testing.T) {
 	mod, prof, inputs := setup(t)
 	m := machine.Alpha21164()
-	l := align.NewTSP(1).Align(mod, prof, m)
+	l := align.NewTSP(1).Align(context.Background(), mod, prof, m)
 
 	cfg := DefaultConfig()
 	plain, _, err := Run(mod, l, inputs, cfg, interp.Options{})
@@ -39,7 +40,7 @@ func TestSelfCheckCleanRun(t *testing.T) {
 func TestSelfCheckCatchesCorruptLayout(t *testing.T) {
 	mod, prof, inputs := setup(t)
 	m := machine.Alpha21164()
-	l := align.NewTSP(1).Align(mod, prof, m)
+	l := align.NewTSP(1).Align(context.Background(), mod, prof, m)
 
 	// Find a function with enough blocks to corrupt.
 	fi := -1

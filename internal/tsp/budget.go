@@ -1,0 +1,98 @@
+package tsp
+
+import (
+	"context"
+	"time"
+)
+
+// Budget bounds the work a single solver call may perform. The solver is
+// anytime: iterated 3-opt always holds a valid best-so-far tour and the
+// Held-Karp ascent always holds a valid lower bound, so exhausting a
+// budget never produces an invalid result — the call returns what it has,
+// flagged Truncated. The zero Budget is unlimited.
+//
+// Budgets compose with context cancellation (SolveOptions.Context /
+// HeldKarpOptions.Context): whichever signal fires first stops the solve
+// at the next kick or subgradient-iterate boundary.
+type Budget struct {
+	// Deadline is an absolute wall-clock cutoff. Zero means none.
+	Deadline time.Time
+	// MaxKicks caps the total double-bridge kick rounds across all
+	// local-search runs of one Solve call. 0 means unlimited.
+	MaxKicks int64
+	// MaxHKIterations caps the subgradient iterates of one Held-Karp
+	// bound computation. 0 means unlimited (the iteration schedule of
+	// HeldKarpOptions still applies).
+	MaxHKIterations int
+}
+
+// IsZero reports whether the budget imposes no limit.
+func (b Budget) IsZero() bool {
+	return b.Deadline.IsZero() && b.MaxKicks == 0 && b.MaxHKIterations == 0
+}
+
+// cancelCheck is the shared boundary test for cancellation signals. It is
+// deliberately side-effect-free with respect to the solver state: checking
+// never touches the random stream, so an uncancelled solve is bit-identical
+// to one run without any context or deadline.
+type cancelCheck struct {
+	ctx      context.Context
+	deadline time.Time
+}
+
+func newCancelCheck(ctx context.Context, b Budget) cancelCheck {
+	return cancelCheck{ctx: ctx, deadline: b.Deadline}
+}
+
+// cancelled reports whether the context is done or the deadline has
+// passed. The zero cancelCheck is never cancelled.
+func (c *cancelCheck) cancelled() bool {
+	if c.ctx != nil {
+		select {
+		case <-c.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return !c.deadline.IsZero() && time.Now().After(c.deadline)
+}
+
+// solveBudget tracks budget consumption across the runs of one Solve
+// call. allow is evaluated at every kick boundary and before each
+// local-search run; once it trips, it latches and the solve unwinds with
+// its best-so-far result.
+type solveBudget struct {
+	check     cancelCheck
+	maxKicks  int64
+	kicks     int64
+	truncated bool
+}
+
+// spend records one consumed kick. Nil-safe, like allow.
+func (b *solveBudget) spend() {
+	if b != nil {
+		b.kicks++
+	}
+}
+
+// allow reports whether the next unit of work (a kick, or a whole run)
+// may start. The call order matters for exactness of the Truncated flag:
+// allow is only consulted when more work is actually planned, so a solve
+// that finishes precisely at its budget is not marked truncated.
+func (b *solveBudget) allow() bool {
+	if b == nil {
+		return true
+	}
+	if b.truncated {
+		return false
+	}
+	if b.maxKicks > 0 && b.kicks >= b.maxKicks {
+		b.truncated = true
+		return false
+	}
+	if b.check.cancelled() {
+		b.truncated = true
+		return false
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"math"
 
 	"branchalign/internal/obs"
@@ -22,6 +23,31 @@ type HeldKarpOptions struct {
 	// the bound trajectory ("hk_bound", one point per improving iterate)
 	// and step-size series ("hk_step"). Nil records nothing.
 	Obs *obs.Span
+	// Context, when non-nil, cancels the ascent at the next subgradient
+	// iterate boundary. The best bound found so far is returned with
+	// BoundResult.Truncated set — every iterate's bound is a valid lower
+	// bound, so truncation never invalidates the result. At least one
+	// iterate always runs, so a cancelled call still returns a real
+	// (if weak) bound.
+	Context context.Context
+	// Budget bounds the ascent (wall-clock deadline, max subgradient
+	// iterates). The zero Budget is unlimited.
+	Budget Budget
+}
+
+// BoundResult reports the outcome of a Held-Karp bound computation.
+type BoundResult struct {
+	// Bound is the best lower bound found. It is valid for any number of
+	// completed iterates.
+	Bound float64
+	// Iterations is the number of subgradient iterates evaluated.
+	Iterations int
+	// Truncated is true when the ascent was cut short by its context or
+	// budget before the iteration schedule completed.
+	Truncated bool
+	// Converged is true when the 1-tree became a tour, making the bound
+	// provably exact for the relaxed instance.
+	Converged bool
 }
 
 // hkSchedule returns the iteration count and step-halving period shared
@@ -52,12 +78,19 @@ func hkSchedule(nodes, iterations int) (iters, period int) {
 // m must be symmetric; the function panics otherwise (catching accidental
 // use on a raw DTSP matrix, for which HeldKarpDirected exists).
 func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
+	return HeldKarpSymBound(m, opt).Bound
+}
+
+// HeldKarpSymBound is HeldKarpSym with the full anytime result: the
+// bound plus how many iterates ran and whether the ascent was truncated
+// by its context or budget.
+func HeldKarpSymBound(m *Matrix, opt HeldKarpOptions) BoundResult {
 	if !m.IsSymmetric() {
 		panic("tsp: HeldKarpSym: matrix is not symmetric")
 	}
 	n := m.Len()
 	if n < 3 {
-		return float64(CycleCost(m, IdentityTour(n)))
+		return BoundResult{Bound: float64(CycleCost(m, IdentityTour(n))), Converged: true}
 	}
 	iters, period := hkSchedule(n, opt.Iterations)
 	ub := opt.UpperBound
@@ -79,9 +112,22 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 	deg := make([]int, n)
 	ws := newOneTreeWorkspace(n)
 	best := math.Inf(-1)
-	done := 0
+	res := BoundResult{}
+	cc := newCancelCheck(opt.Context, opt.Budget)
+	maxIt := opt.Budget.MaxHKIterations
 	for it := 0; it < iters; it++ {
-		done = it + 1
+		// Iterate-boundary budget check. The first iterate always runs
+		// (it is cheap and guarantees a real bound); later iterates stop
+		// as soon as the budget trips — best is already valid.
+		if maxIt > 0 && res.Iterations >= maxIt {
+			res.Truncated = true
+			break
+		}
+		if res.Iterations > 0 && cc.cancelled() {
+			res.Truncated = true
+			break
+		}
+		res.Iterations = it + 1
 		w := oneTree(m, pi, deg, ws)
 		var piSum float64
 		for _, p := range pi {
@@ -100,6 +146,7 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 		}
 		if norm == 0 {
 			// The 1-tree is a tour: the bound is exact.
+			res.Converged = true
 			sp.SetAttrs(obs.Bool("converged", true))
 			break
 		}
@@ -117,9 +164,11 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 			alpha /= 2
 		}
 	}
-	sp.Count("hk.iterations", int64(done))
-	sp.End(obs.Float("bound", best), obs.Int("iterations", int64(done)))
-	return best
+	res.Bound = best
+	sp.Count("hk.iterations", int64(res.Iterations))
+	sp.End(obs.Float("bound", best), obs.Int("iterations", int64(res.Iterations)),
+		obs.Bool("truncated", res.Truncated))
+	return res
 }
 
 // HeldKarpDirected computes the Held-Karp bound for an asymmetric
@@ -137,9 +186,17 @@ func HeldKarpSym(m *Matrix, opt HeldKarpOptions) float64 {
 // the implicit path caps exception edges at their row default), but both
 // are valid lower bounds on the optimal directed tour.
 func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
+	return HeldKarpBound(c, opt).Bound
+}
+
+// HeldKarpBound is HeldKarpDirected with the full anytime result: the
+// bound plus iterate count, truncation and convergence flags. It is the
+// primary entry point for budgeted callers (the engine, balignd); the
+// float64-returning wrappers are kept for the batch pipeline.
+func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 	n := c.Len()
 	if n < 3 {
-		return HeldKarpDirectedDense(c, opt)
+		return heldKarpDenseBound(c, opt)
 	}
 	sp := Sparsify(c)
 	ot := newSparseOneTree(sp)
@@ -161,9 +218,20 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 		alpha = 2
 	}
 	best := math.Inf(-1)
-	done := 0
+	res := BoundResult{}
+	cc := newCancelCheck(opt.Context, opt.Budget)
+	maxIt := opt.Budget.MaxHKIterations
 	for it := 0; it < iters; it++ {
-		done = it + 1
+		// Iterate-boundary budget check; see HeldKarpSymBound.
+		if maxIt > 0 && res.Iterations >= maxIt {
+			res.Truncated = true
+			break
+		}
+		if res.Iterations > 0 && cc.cancelled() {
+			res.Truncated = true
+			break
+		}
+		res.Iterations = it + 1
 		w := ot.run()
 		var piSum float64
 		for _, p := range ot.pi {
@@ -182,6 +250,7 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 			norm += d * d
 		}
 		if norm == 0 {
+			res.Converged = true
 			hsp.SetAttrs(obs.Bool("converged", true))
 			break
 		}
@@ -199,9 +268,11 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 			alpha /= 2
 		}
 	}
-	hsp.Count("hk.iterations", int64(done))
-	hsp.End(obs.Float("bound", best+shift), obs.Int("iterations", int64(done)))
-	return best + shift
+	res.Bound = best + shift
+	hsp.Count("hk.iterations", int64(res.Iterations))
+	hsp.End(obs.Float("bound", res.Bound), obs.Int("iterations", int64(res.Iterations)),
+		obs.Bool("truncated", res.Truncated))
+	return res
 }
 
 // HeldKarpDirectedDense is the dense reference path: materialize the
@@ -212,6 +283,10 @@ func HeldKarpDirected(c Costs, opt HeldKarpOptions) float64 {
 // tour cost. Θ(n²) memory and Θ(n²) time per subgradient iteration —
 // kept as the oracle the sparse path is validated against.
 func HeldKarpDirectedDense(c Costs, opt HeldKarpOptions) float64 {
+	return heldKarpDenseBound(c, opt).Bound
+}
+
+func heldKarpDenseBound(c Costs, opt HeldKarpOptions) BoundResult {
 	s := Symmetrize(c)
 	symM := s.Matrix()
 	shift := float64(c.Len()) * float64(s.LockCost())
@@ -222,7 +297,9 @@ func HeldKarpDirectedDense(c Costs, opt HeldKarpOptions) float64 {
 	}
 	symOpt := opt
 	symOpt.UpperBound = dirUB - Cost(c.Len())*s.LockCost()
-	return HeldKarpSym(symM, symOpt) + shift
+	res := HeldKarpSymBound(symM, symOpt)
+	res.Bound += shift
+	return res
 }
 
 // oneTreeWorkspace holds the Prim scratch arrays for the dense oneTree,

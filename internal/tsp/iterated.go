@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"math/rand"
 
 	"branchalign/internal/obs"
@@ -36,7 +37,7 @@ func DoubleBridge(t Tour, rng *rand.Rand) Tour {
 // kicked solution. It performs iters kick-and-reoptimize rounds and
 // returns the best tour found with its cost.
 func IteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
-	t, c, _ := iteratedThreeOpt(m, nb, start, iters, rng, nil)
+	t, c, _ := iteratedThreeOpt(m, nb, start, iters, rng, nil, nil)
 	return t, c
 }
 
@@ -49,12 +50,15 @@ type runTelemetry struct {
 	iterBest int
 }
 
-// iteratedThreeOpt is IteratedThreeOpt with telemetry: when sp is
-// non-nil the cost-vs-iteration convergence series is recorded on it
-// (the initial local optimum plus every accepted kick). The run
-// statistics are returned either way; they cost a handful of integer
-// updates per kick, far off the 3-opt inner loop.
-func iteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand, sp *obs.Span) (Tour, Cost, runTelemetry) {
+// iteratedThreeOpt is IteratedThreeOpt with telemetry and budgeting:
+// when sp is non-nil the cost-vs-iteration convergence series is
+// recorded on it (the initial local optimum plus every accepted kick),
+// and when bs is non-nil the kick loop stops at the first boundary where
+// the budget is exhausted or the context cancelled — the best tour found
+// so far is returned either way. The run statistics are returned in all
+// cases; they cost a handful of integer updates per kick, far off the
+// 3-opt inner loop.
+func iteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand, sp *obs.Span, bs *solveBudget) (Tour, Cost, runTelemetry) {
 	if nb == nil {
 		nb = BuildNeighbors(m, DefaultNeighborCount, ForbidCost(m))
 	}
@@ -67,7 +71,8 @@ func iteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.R
 	bestCost := curCost
 	series := sp.Series("tour_cost")
 	series.Add(0, float64(curCost))
-	for i := 0; i < iters; i++ {
+	for i := 0; i < iters && bs.allow(); i++ {
+		bs.spend()
 		kicked := DoubleBridge(cur, rng)
 		o.SetTour(kicked)
 		o.Optimize()
@@ -127,6 +132,16 @@ type SolveOptions struct {
 	// local-search run. A nil Obs — the default — records nothing and
 	// costs nothing on the hot path.
 	Obs *obs.Span
+	// Context, when non-nil, cancels the solve at the next kick boundary
+	// (and between local-search runs). The solve then returns its
+	// best-so-far tour with Result.Truncated set — always a valid
+	// permutation, never an error. A nil Context never cancels, and the
+	// cancellation checks never touch the random stream, so an
+	// uncancelled solve is bit-identical to one without any context.
+	Context context.Context
+	// Budget bounds the solve's work (wall-clock deadline, total kick
+	// rounds). The zero Budget is unlimited. See Budget.
+	Budget Budget
 }
 
 // PaperSolveOptions returns the solver protocol used in the paper:
@@ -166,6 +181,14 @@ type Result struct {
 	// MovesTried and MovesAccepted total the candidate 3-opt moves
 	// examined and applied across all runs (0 for exact solves).
 	MovesTried, MovesAccepted int64
+	// Kicks totals the double-bridge kick rounds performed across all
+	// runs (0 for exact solves).
+	Kicks int64
+	// Truncated is true when the solve was cut short — the context was
+	// cancelled or the budget (deadline, max kicks) ran out before the
+	// configured protocol completed. The returned tour is still the
+	// valid best-so-far incumbent.
+	Truncated bool
 }
 
 // denseSolveCutover is the instance size below which Solve materializes
@@ -211,6 +234,7 @@ func Solve(m Costs, opt SolveOptions) Result {
 	if greedyMax <= 0 {
 		greedyMax = 4096
 	}
+	bs := &solveBudget{check: newCancelCheck(opt.Context, opt.Budget), maxKicks: opt.Budget.MaxKicks}
 
 	var res Result
 	consider := func(t Tour, c Cost, rt runTelemetry) {
@@ -234,7 +258,7 @@ func Solve(m Costs, opt SolveOptions) Result {
 		if rs != nil {
 			rs.SetAttrs(obs.Int("start_cost", CycleCost(m, start)))
 		}
-		t, c, rt := iteratedThreeOpt(m, nb, start, iters, rng, rs)
+		t, c, rt := iteratedThreeOpt(m, nb, start, iters, rng, rs, bs)
 		rs.Count("tsp.kicks", rt.kicks)
 		rs.Count("tsp.moves_tried", rt.movesTried)
 		rs.Count("tsp.moves_accepted", rt.movesAccepted)
@@ -243,30 +267,38 @@ func Solve(m Costs, opt SolveOptions) Result {
 			obs.Int("moves_tried", rt.movesTried), obs.Int("moves_accepted", rt.movesAccepted))
 		consider(t, c, rt)
 	}
-	for i := 0; i < opt.GreedyStarts; i++ {
+	// Each loop consults the budget only when another run is actually
+	// planned, so a solve that completes its protocol exactly at the
+	// budget is not marked truncated; a tripped budget skips every
+	// remaining run (and its start-tour construction).
+	for i := 0; i < opt.GreedyStarts && bs.allow(); i++ {
 		if n > greedyMax {
 			run("nn", NearestNeighbor(m, rng.Intn(n), rng))
 		} else {
 			run("greedy", GreedyEdge(m, rng))
 		}
 	}
-	for i := 0; i < opt.NNStarts; i++ {
+	for i := 0; i < opt.NNStarts && bs.allow(); i++ {
 		run("nn", NearestNeighbor(m, rng.Intn(n), rng))
 	}
-	for i := 0; i < opt.IdentityStarts; i++ {
+	for i := 0; i < opt.IdentityStarts && bs.allow(); i++ {
 		run("identity", IdentityTour(n))
 	}
-	for i := 0; i < opt.PatchingStarts; i++ {
+	for i := 0; i < opt.PatchingStarts && bs.allow(); i++ {
 		start, _ := SolvePatching(m)
 		run("patching", start)
 	}
 	if res.Tour == nil {
+		// Cancelled before the first run produced anything: the compiler
+		// order is the valid best-so-far layout.
 		res.Tour = IdentityTour(n)
 		res.Cost = CycleCost(m, res.Tour)
 		res.Runs = 1
 		res.RunsAtBest = 1
 	}
-	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", false),
+	res.Kicks = bs.kicks
+	res.Truncated = bs.truncated
+	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", false), obs.Bool("truncated", res.Truncated),
 		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
 		obs.Int("iter_best", int64(res.IterationsToBest)),
 		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted))

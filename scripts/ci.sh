@@ -23,6 +23,9 @@ go build ./...
 echo "== go test -race (telemetry + solver, concurrency-heavy)"
 go test -race -count=2 ./internal/obs/ ./internal/tsp/
 
+echo "== go test -race (engine + balignd + suite, request-serving stack)"
+go test -race -count=2 ./internal/engine/ ./cmd/balignd/ ./internal/core/
+
 echo "== go test -race"
 go test -race ./...
 
