@@ -173,8 +173,17 @@ func (t Tour) RotateTo(c int) {
 	if at == 0 {
 		return
 	}
-	rotated := make(Tour, 0, len(t))
-	rotated = append(rotated, t[at:]...)
-	rotated = append(rotated, t[:at]...)
-	copy(t, rotated)
+	// Three-reversal rotation: reversing the two halves and then the
+	// whole slice lands t[at:] in front of t[:at] without a scratch
+	// allocation (the solver rotates every layout it emits).
+	t[:at].reverse()
+	t[at:].reverse()
+	t.reverse()
+}
+
+// reverse flips the tour in place.
+func (t Tour) reverse() {
+	for i, j := 0, len(t)-1; i < j; i, j = i+1, j-1 {
+		t[i], t[j] = t[j], t[i]
+	}
 }

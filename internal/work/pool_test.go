@@ -1,0 +1,188 @@
+package work
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEachRunsAllIndices checks every index runs exactly once and the
+// call blocks until all effects are visible.
+func TestEachRunsAllIndices(t *testing.T) {
+	for _, cap := range []int{1, 2, 8} {
+		p := NewPool(cap)
+		const n = 100
+		got := make([]int32, n)
+		p.Each(n, func(i int) { atomic.AddInt32(&got[i], 1) })
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("cap=%d: index %d ran %d times, want 1", cap, i, c)
+			}
+		}
+	}
+}
+
+// TestNestedRunsAllIndices checks Nested covers every index once, at
+// several limits including the sequential degradations.
+func TestNestedRunsAllIndices(t *testing.T) {
+	p := NewPool(4)
+	for _, limit := range []int{0, 1, 2, 16} {
+		const n = 57
+		got := make([]int32, n)
+		p.Nested(n, limit, func(i int) { atomic.AddInt32(&got[i], 1) })
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("limit=%d: index %d ran %d times, want 1", limit, i, c)
+			}
+		}
+	}
+}
+
+// TestNilPoolSequential checks the nil-pool degradation runs everything
+// in the caller, in order.
+func TestNilPoolSequential(t *testing.T) {
+	var p *Pool
+	var order []int
+	p.Each(5, func(i int) { order = append(order, i) })
+	p.Nested(5, 0, func(i int) { order = append(order, i) })
+	want := []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (nil pool must be sequential in-order)", i, order[i], want[i])
+		}
+	}
+}
+
+// TestEachBoundsConcurrency checks that concurrently executing tasks
+// never exceed the pool cap, even across overlapping Each calls.
+func TestEachBoundsConcurrency(t *testing.T) {
+	const capN = 3
+	p := NewPool(capN)
+	var cur, max atomic.Int64
+	task := func(int) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Each(20, task)
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > capN {
+		t.Fatalf("observed %d concurrent tasks, cap is %d", got, capN)
+	}
+}
+
+// TestNestedInsideEachNoDeadlock is the composition the solver relies
+// on: every top-level task (holding a pool token) fans out again via
+// Nested. With cap 2 and 4 outer tasks the pool is saturated, so inner
+// batches must make progress in their callers rather than deadlock.
+func TestNestedInsideEachNoDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var inner atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		p.Each(4, func(int) {
+			p.Nested(8, 0, func(int) {
+				inner.Add(1)
+				time.Sleep(50 * time.Microsecond)
+			})
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested fan-out deadlocked")
+	}
+	if got := inner.Load(); got != 32 {
+		t.Fatalf("inner tasks ran %d times, want 32", got)
+	}
+}
+
+// TestEachPanicPropagates checks a task panic re-raises in the caller
+// with the original value, and the pool stays usable afterwards.
+func TestEachPanicPropagates(t *testing.T) {
+	p := NewPool(2)
+	check := func(name string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: panic did not propagate", name)
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+				t.Fatalf("%s: recovered %v, want message containing original value", name, r)
+			}
+		}()
+		f()
+	}
+	check("Each", func() { p.Each(10, func(i int) { panic("boom") }) })
+	check("Nested", func() { p.Nested(10, 0, func(i int) { panic("boom") }) })
+	// Pool must still work: tokens were all released.
+	ran := make([]int32, 4)
+	p.Each(4, func(i int) { atomic.AddInt32(&ran[i], 1) })
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("after panic: index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestSharedPool checks the process-wide pool is a GOMAXPROCS-sized
+// singleton.
+func TestSharedPool(t *testing.T) {
+	a, b := Shared(), Shared()
+	if a != b {
+		t.Fatal("Shared() returned distinct pools")
+	}
+	if a.Cap() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Shared().Cap() = %d, want GOMAXPROCS = %d", a.Cap(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestActiveGauge checks Active tracks executing tasks and settles back
+// to zero.
+func TestActiveGauge(t *testing.T) {
+	p := NewPool(2)
+	var seen atomic.Int64
+	p.Each(6, func(int) {
+		if a := p.Active(); a > seen.Load() {
+			seen.Store(a)
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if seen.Load() < 1 {
+		t.Fatal("Active never observed a running task")
+	}
+	if got := p.Active(); got != 0 {
+		t.Fatalf("Active = %d after batch completion, want 0", got)
+	}
+}
+
+// TestCapNil covers the nil-pool accessors.
+func TestCapNil(t *testing.T) {
+	var p *Pool
+	if p.Cap() != 0 || p.Active() != 0 {
+		t.Fatal("nil pool accessors must return 0")
+	}
+	if got := NewPool(0).Cap(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0).Cap() = %d, want GOMAXPROCS", got)
+	}
+}
