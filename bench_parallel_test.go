@@ -1,0 +1,47 @@
+// Scaling benchmarks for the parallel multi-start solver. One series
+// runs the paper's full multi-start protocol on the largest bundled
+// function at 1/2/4/8 workers:
+//
+//	scripts/bench.sh parallel 'BenchmarkSolveParallel'
+//
+// (see results/BENCH_parallel.json). The solve is bit-identical at
+// every width — tsp_test's determinism suite pins that — so the series
+// isolates pure wall-clock scaling. Speedup is bounded by min(workers,
+// GOMAXPROCS, runs): on a single-core host every width collapses to
+// sequential throughput, so judge scaling numbers against the
+// snapshot's recorded host parallelism.
+package branchalign
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"branchalign/internal/align"
+	"branchalign/internal/machine"
+	"branchalign/internal/tsp"
+	"branchalign/internal/work"
+)
+
+// BenchmarkSolveParallel measures the multi-start solve of the heaviest
+// bundled instance (xli's 63-block dispatch loop) across worker counts.
+// Each width gets a dedicated pool so the series is not serialized
+// through the shared pool's GOMAXPROCS cap.
+func BenchmarkSolveParallel(b *testing.B) {
+	m := machine.Alpha21164()
+	f, fp := largestBundledFunc(b)
+	sp := align.BuildSparseMatrixForFunc(f, fp, m)
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := tsp.PaperSolveOptions(1)
+		opts.ExactThreshold = 0 // force the multi-start path being measured
+		opts.Parallelism = workers
+		opts.Pool = work.NewPool(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tsp.Solve(sp, opts)
+			}
+		})
+	}
+	b.Logf("host GOMAXPROCS=%d (speedup is bounded by it)", runtime.GOMAXPROCS(0))
+}

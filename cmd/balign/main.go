@@ -80,6 +80,7 @@ func run(args []string) (err error) {
 		alignSel  = fs.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, all")
 		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		seed      = fs.Int64("seed", 1, "solver seed")
+		parallel  = fs.Int("parallel", 0, "TSP solver parallelism: max concurrent local-search runs per function (-1 = all CPUs); non-zero also solves functions in parallel; results are bit-identical at every setting")
 		sim       = fs.Bool("sim", false, "simulate execution time (pipeline + I-cache)")
 		cacheKB   = fs.Int("cache-bytes", 0, "I-cache size in bytes for -sim (0 = default 512)")
 		cacheWays = fs.Int("cache-ways", 0, "I-cache associativity for -sim (0 = default 2)")
@@ -212,7 +213,7 @@ func run(args []string) (err error) {
 		printLoops(mod, prof)
 	}
 
-	aligners, err := pickAligners(*alignSel, *seed)
+	aligners, err := pickAligners(*alignSel, *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -411,10 +412,18 @@ func pickModel(name string) (machine.Model, error) {
 	return machine.Model{}, fmt.Errorf("unknown model %q", name)
 }
 
-func pickAligners(sel string, seed int64) ([]align.Aligner, error) {
+func pickAligners(sel string, seed int64, parallel int) ([]align.Aligner, error) {
+	newTSP := func() *align.TSP {
+		t := align.NewTSP(seed)
+		if parallel != 0 {
+			t.Parallel = true
+			t.Opts.Parallelism = parallel
+		}
+		return t
+	}
 	switch sel {
 	case "all":
-		return []align.Aligner{align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, align.NewTSP(seed)}, nil
+		return []align.Aligner{align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, newTSP()}, nil
 	case "original":
 		return nil, nil
 	case "greedy":
@@ -424,7 +433,7 @@ func pickAligners(sel string, seed int64) ([]align.Aligner, error) {
 	case "ap-patch", "patch":
 		return []align.Aligner{align.APPatch{}}, nil
 	case "tsp":
-		return []align.Aligner{align.NewTSP(seed)}, nil
+		return []align.Aligner{newTSP()}, nil
 	}
 	return nil, fmt.Errorf("unknown aligner %q", sel)
 }

@@ -23,7 +23,7 @@ func TestPickModel(t *testing.T) {
 func TestPickAligners(t *testing.T) {
 	cases := map[string]int{"all": 4, "original": 0, "greedy": 1, "cg": 1, "calder-grunwald": 1, "ap-patch": 1, "patch": 1, "tsp": 1}
 	for sel, want := range cases {
-		as, err := pickAligners(sel, 1)
+		as, err := pickAligners(sel, 1, 2)
 		if err != nil {
 			t.Errorf("pickAligners(%q): %v", sel, err)
 			continue
@@ -32,7 +32,7 @@ func TestPickAligners(t *testing.T) {
 			t.Errorf("pickAligners(%q) returned %d aligners, want %d", sel, len(as), want)
 		}
 	}
-	if _, err := pickAligners("quantum", 1); err == nil {
+	if _, err := pickAligners("quantum", 1, 0); err == nil {
 		t.Error("expected error for unknown aligner")
 	}
 }

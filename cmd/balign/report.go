@@ -36,6 +36,7 @@ func runReport(args []string) int {
 		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		seed      = fs.Int64("seed", 1, "solver seed")
 		hkIters   = fs.Int("hk-iters", 3000, "Held-Karp subgradient iterations")
+		parallel  = fs.Int("parallel", 0, "TSP solver parallelism for live runs: max concurrent local-search runs per function (-1 = all CPUs); bit-identical results, lower wall-clock in the solve-ms column")
 	)
 	fs.Parse(args)
 
@@ -62,7 +63,7 @@ func runReport(args []string) int {
 		}
 	} else {
 		var err error
-		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *seed, *hkIters)
+		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *seed, *hkIters, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "balign report:", err)
 			return 1
@@ -74,7 +75,7 @@ func runReport(args []string) int {
 
 // reportRun executes the profile -> TSP-align -> Held-Karp pipeline with
 // an in-memory telemetry sink and returns the collected events.
-func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel string, seed int64, hkIters int) ([]obs.Event, error) {
+func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel string, seed int64, hkIters, parallel int) ([]obs.Event, error) {
 	mod, inputs, err := loadProgram(srcPath, benchName, dataset, data, scalarN)
 	if err != nil {
 		return nil, err
@@ -93,6 +94,7 @@ func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel
 	root := tr.Start("balign.report", obs.String("model", modelSel), obs.Int("seed", seed))
 	aligner := align.NewTSP(seed)
 	aligner.Parallel = true
+	aligner.Opts.Parallelism = parallel
 	aligner.Obs = root
 	aligner.Align(context.Background(), mod, prof, model)
 	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: hkIters, Obs: root})
@@ -125,6 +127,7 @@ type reportRow struct {
 	iterBest int64
 	tried    int64
 	accepted int64
+	durUS    int64
 }
 
 // renderReport joins "align.func" and "align.hk" spans by function name
@@ -156,6 +159,7 @@ func renderReport(events []obs.Event) string {
 			r.iterBest = e.Int("iter_best")
 			r.tried = e.Int("moves_tried")
 			r.accepted = e.Int("moves_accepted")
+			r.durUS = e.DurUS
 		case "align.hk":
 			r := get(e.Str("func"))
 			r.bound = e.Int("bound")
@@ -176,7 +180,7 @@ func renderReport(events []obs.Event) string {
 		return ordered[i].fn < ordered[j].fn
 	})
 
-	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "moves acc/tried")
+	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "moves acc/tried", "solve ms")
 	var tot reportRow
 	allHK := true
 	for _, r := range ordered {
@@ -187,14 +191,16 @@ func renderReport(events []obs.Event) string {
 		} else {
 			allHK = false
 		}
-		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s",
+		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s",
 			r.fn, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
-			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried))
+			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried),
+			solveMS(r.durUS))
 		tot.cities += r.cities
 		tot.cost += r.cost
 		tot.bound += r.bound
 		tot.tried += r.tried
 		tot.accepted += r.accepted
+		tot.durUS += r.durUS
 	}
 	if len(ordered) > 1 {
 		bound, gap := "-", "-"
@@ -202,11 +208,23 @@ func renderReport(events []obs.Event) string {
 			bound = fmt.Sprintf("%d", tot.bound)
 			gap = fmt.Sprintf("%.2f", gapPct(tot.cost, tot.bound))
 		}
-		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s",
+		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s|%s",
 			len(ordered), tot.cities, tot.cost, bound, gap,
-			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried))
+			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried),
+			solveMS(tot.durUS))
 	}
 	return table.String()
+}
+
+// solveMS renders one solve's recorded wall-clock ("-" for traces
+// predating the duration field). Per-function wall-clock is how solver
+// parallelism shows up in production output: -parallel lowers this
+// column while every other cell stays bit-identical.
+func solveMS(durUS int64) string {
+	if durUS <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(durUS)/1000)
 }
 
 // gapPct is the relative optimality gap (tour - bound) / tour in percent,

@@ -68,7 +68,7 @@ func TestRenderReportMissingBound(t *testing.T) {
 // report` on a bundled benchmark and checks the solver and bound
 // telemetry join into a plausible table.
 func TestReportRunEndToEnd(t *testing.T) {
-	events, err := reportRun("", "compress", "", "", -1, "alpha21164", 1, 30)
+	events, err := reportRun("", "compress", "", "", -1, "alpha21164", 1, 30, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -137,5 +137,5 @@ func pickVetAligners(sel string, seed int64) ([]align.Aligner, error) {
 	case "original":
 		return []align.Aligner{align.Original{}}, nil
 	}
-	return pickAligners(sel, seed)
+	return pickAligners(sel, seed, 0)
 }

@@ -26,6 +26,11 @@ import (
 type serverConfig struct {
 	// Workers bounds concurrent per-function solves (engine pool).
 	Workers int
+	// Parallelism is the default per-run solver parallelism applied to
+	// requests that don't set their own (see engine.Options.Parallelism).
+	// Results are bit-identical at every setting, so it never enters the
+	// cache key.
+	Parallelism int
 	// CacheEntries bounds the engine result cache.
 	CacheEntries int
 	// MaxInflight bounds concurrently served /v1/align requests; excess
@@ -75,7 +80,7 @@ func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
 		cfg:      cfg,
-		eng:      engine.New(engine.Options{Workers: cfg.Workers, CacheEntries: cfg.CacheEntries}),
+		eng:      engine.New(engine.Options{Workers: cfg.Workers, Parallelism: cfg.Parallelism, CacheEntries: cfg.CacheEntries}),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		mux:      http.NewServeMux(),
 	}
@@ -106,6 +111,12 @@ type alignRequest struct {
 
 	Bound        bool `json:"bound,omitempty"`
 	HKIterations int  `json:"hk_iterations,omitempty"`
+
+	// Parallelism overrides the server's per-run solver parallelism for
+	// this request (-1 = all CPUs). The response is bit-identical at
+	// every setting — only wall-clock changes — so a cached result solved
+	// at one setting is served for every other.
+	Parallelism int `json:"parallelism,omitempty"`
 
 	// TimeoutMS and MaxKicks budget the solve; see tsp.Budget. A
 	// deadline hit yields a valid truncated result, not an error.
@@ -261,6 +272,7 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		},
 		Bound:        req.Bound,
 		HKIterations: req.HKIterations,
+		Parallelism:  req.Parallelism,
 		Obs:          root,
 	})
 	if err != nil {

@@ -285,6 +285,64 @@ func TestAlignConcurrentMixedDeadlines(t *testing.T) {
 	}
 }
 
+// TestAlignParallelismBitIdentical pins the wire contract of the
+// "parallelism" field: it changes only wall-clock, so a result solved
+// sequentially is a cache hit for a parallel request, with identical
+// penalties and layouts.
+func TestAlignParallelismBitIdentical(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{Workers: 2}))
+	defer ts.Close()
+
+	seq, code := postAlign(t, ts, sourceRequest(5))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	par := sourceRequest(5)
+	par.Parallelism = 4
+	res, code := postAlign(t, ts, par)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !res.CacheHit {
+		t.Fatal("parallel request missed the cache entry solved sequentially")
+	}
+	if res.Penalty != seq.Penalty || res.OriginalPenalty != seq.OriginalPenalty {
+		t.Fatalf("parallelism changed the answer: %d vs %d", res.Penalty, seq.Penalty)
+	}
+	for i, f := range res.Funcs {
+		if fmt.Sprint(f.Order) != fmt.Sprint(seq.Funcs[i].Order) {
+			t.Fatalf("func %s: layout differs across parallelism settings", f.Name)
+		}
+	}
+}
+
+// TestStatsReportsPool pins that /v1/stats surfaces the engine pool's
+// configured size and in-flight run gauge.
+func TestStatsReportsPool(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{Workers: 3}))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Engine struct {
+			Workers      int    `json:"workers"`
+			InFlightRuns *int64 `json:"in_flight_runs"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Workers != 3 {
+		t.Fatalf("stats report %d workers, want 3", st.Engine.Workers)
+	}
+	if st.Engine.InFlightRuns == nil || *st.Engine.InFlightRuns != 0 {
+		t.Fatalf("idle server should report in_flight_runs 0, got %v", st.Engine.InFlightRuns)
+	}
+}
+
 // TestRunDrainsOnSIGTERM exercises the real main loop: run() must come
 // back nil (clean drain) after the process receives SIGTERM.
 func TestRunDrainsOnSIGTERM(t *testing.T) {

@@ -278,19 +278,31 @@ func TestDeepPipeIncreasesAlignmentBenefit(t *testing.T) {
 }
 
 // TestParallelAlignmentIdentical: parallel per-function solving is
-// bit-identical to sequential (each function has its own seeded stream).
+// bit-identical to sequential (each function has its own seeded stream),
+// and so is per-run parallelism inside each solve — alone and stacked
+// on top of the per-function fan-out, where both layers contend for the
+// same shared worker pool.
 func TestParallelAlignmentIdentical(t *testing.T) {
 	mod, prof := compileBranchy(t)
 	m := machine.Alpha21164()
 	seq := NewTSP(5)
-	par := NewTSP(5)
-	par.Parallel = true
 	l1 := seq.Align(context.Background(), mod, prof, m)
-	l2 := par.Align(context.Background(), mod, prof, m)
-	for fi := range l1.Funcs {
-		for k := range l1.Funcs[fi].Order {
-			if l1.Funcs[fi].Order[k] != l2.Funcs[fi].Order[k] {
-				t.Fatalf("parallel alignment diverged in func %d", fi)
+	for name, mk := range map[string]func() *TSP{
+		"funcs": func() *TSP { a := NewTSP(5); a.Parallel = true; return a },
+		"runs":  func() *TSP { a := NewTSP(5); a.Opts.Parallelism = 4; return a },
+		"both": func() *TSP {
+			a := NewTSP(5)
+			a.Parallel = true
+			a.Opts.Parallelism = 4
+			return a
+		},
+	} {
+		l2 := mk().Align(context.Background(), mod, prof, m)
+		for fi := range l1.Funcs {
+			for k := range l1.Funcs[fi].Order {
+				if l1.Funcs[fi].Order[k] != l2.Funcs[fi].Order[k] {
+					t.Fatalf("%s: parallel alignment diverged in func %d", name, fi)
+				}
 			}
 		}
 	}

@@ -2,8 +2,6 @@ package align
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
@@ -11,6 +9,7 @@ import (
 	"branchalign/internal/machine"
 	"branchalign/internal/obs"
 	"branchalign/internal/tsp"
+	"branchalign/internal/work"
 )
 
 // BuildMatrix constructs the DTSP instance for one function, per Section
@@ -106,9 +105,12 @@ type TSP struct {
 	// Opts configures the solver; the zero value selects the paper's
 	// protocol (10 runs, 2N iterations) with seed 1.
 	Opts tsp.SolveOptions
-	// Parallel solves the per-function DTSPs on all CPUs. Functions are
-	// independent and each gets its own deterministic seed, so the result
-	// is bit-identical to the sequential run.
+	// Parallel solves the per-function DTSPs on all CPUs (the shared
+	// work.Shared() pool). Functions are independent and each gets its
+	// own deterministic seed, so the result is bit-identical to the
+	// sequential run. Composes with per-run solver parallelism
+	// (Opts.Parallelism): both layers draw workers from the same pool,
+	// so enabling both never oversubscribes the machine.
 	Parallel bool
 	// Obs, when non-nil, is the parent span per-function solver telemetry
 	// is recorded under: one "align.func" span per function (matrix
@@ -135,6 +137,7 @@ func (t *TSP) Align(ctx context.Context, mod *ir.Module, prof *interp.Profile, m
 	if opts.GreedyStarts == 0 && opts.NNStarts == 0 && opts.IdentityStarts == 0 {
 		def := tsp.PaperSolveOptions(1)
 		def.Context, def.Budget = opts.Context, opts.Budget
+		def.Parallelism, def.Pool = opts.Parallelism, opts.Pool
 		opts = def
 	}
 	if ctx != nil {
@@ -148,9 +151,12 @@ func (t *TSP) Align(ctx context.Context, mod *ir.Module, prof *interp.Profile, m
 }
 
 // forEachFunc evaluates fn(fi, f) for every function of the module — on
-// all CPUs when parallel is true, sequentially otherwise. Functions are
-// independent and results are written by index, so the parallel schedule
-// is observationally identical to the sequential loop.
+// the process-wide worker pool when parallel is true, sequentially
+// otherwise. Functions are independent and results are written by index,
+// so the parallel schedule is observationally identical to the
+// sequential loop. Any per-run parallelism inside fn's solves nests on
+// the same pool (see tsp.SolveOptions.Pool), keeping the total worker
+// count bounded.
 func forEachFunc(mod *ir.Module, parallel bool, fn func(fi int, f *ir.Func)) {
 	if !parallel {
 		for fi, f := range mod.Funcs {
@@ -158,18 +164,9 @@ func forEachFunc(mod *ir.Module, parallel bool, fn func(fi int, f *ir.Func)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for fi, f := range mod.Funcs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(fi int, f *ir.Func) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn(fi, f)
-		}(fi, f)
-	}
-	wg.Wait()
+	work.Shared().Each(len(mod.Funcs), func(fi int) {
+		fn(fi, mod.Funcs[fi])
+	})
 }
 
 // AlignFuncResult carries per-function solver diagnostics, used by the

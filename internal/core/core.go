@@ -33,6 +33,11 @@ type Suite struct {
 	Cache pipe.CacheConfig
 	// Seed drives every randomized component deterministically.
 	Seed int64
+	// Parallelism is the per-run parallelism of each TSP solve (see
+	// tsp.SolveOptions.Parallelism). Results are bit-identical at every
+	// setting; per-function parallelism is always on and both layers
+	// share one worker pool.
+	Parallelism int
 	// HKOpts configures the Held-Karp bound.
 	HKOpts tsp.HeldKarpOptions
 	// MaxSteps bounds each profiling/tracing interpreter run.
@@ -183,6 +188,7 @@ func (s *Suite) TraceOf(b *bench.Benchmark, ds *bench.DataSet) (*pipe.Trace, err
 func (s *Suite) Aligners() []align.Aligner {
 	tspAligner := align.NewTSP(s.Seed)
 	tspAligner.Parallel = true // bit-identical to sequential, faster
+	tspAligner.Opts.Parallelism = s.Parallelism
 	tspAligner.Obs = s.Obs
 	return []align.Aligner{
 		align.Original{},

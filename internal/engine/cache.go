@@ -11,9 +11,13 @@ import (
 // requestKey derives the cache/deduplication key for a request: a
 // digest over everything that determines the computed layout — the
 // module, the profile, the machine model, the solver seed, and the
-// budget's work caps. The budget's wall-clock deadline and the
-// telemetry sink are deliberately excluded: they change when (and how
-// observably) the answer arrives, not what the answer is.
+// budget's work caps. The budget's wall-clock deadline, the telemetry
+// sink and the solver parallelism are deliberately excluded: they
+// change when (and how observably) the answer arrives, not what the
+// answer is. Parallelism in particular must not fragment the LRU — the
+// solver is bit-identical at every setting, so a sequentially solved
+// entry is served to a parallel request and vice versa
+// (TestCacheKeyIgnoresParallelism pins this).
 func requestKey(req Request) (string, error) {
 	h := sha256.New()
 	io.WriteString(h, req.Module.String())

@@ -36,16 +36,26 @@ import (
 	"branchalign/internal/machine"
 	"branchalign/internal/obs"
 	"branchalign/internal/tsp"
+	"branchalign/internal/work"
 )
 
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds the number of per-function solves running
-	// concurrently across all requests. 0 means GOMAXPROCS.
+	// concurrently across all requests. 0 means GOMAXPROCS. The same
+	// pool feeds per-run solver parallelism (Parallelism), so the two
+	// layers together never exceed this bound.
 	Workers int
 	// CacheEntries bounds the result cache (least-recently-used
 	// eviction). 0 means 64; negative disables caching.
 	CacheEntries int
+	// Parallelism is the default per-run solver parallelism applied to
+	// requests that do not set their own: each per-function solve may
+	// execute up to this many of its multi-start runs concurrently on
+	// the engine's worker pool. 0 leaves runs sequential. Results are
+	// bit-identical at every setting, so this is a latency knob only —
+	// it is deliberately excluded from the result cache key.
+	Parallelism int
 }
 
 // Request describes one alignment job. Module and Profile are borrowed
@@ -70,6 +80,13 @@ type Request struct {
 	// bounds (HKIterations subgradient iterates, default 1000).
 	Bound        bool
 	HKIterations int
+
+	// Parallelism overrides the engine's default per-run solver
+	// parallelism for this request when non-zero (negative selects
+	// GOMAXPROCS). Solver results are bit-identical at every setting,
+	// so Parallelism is not part of the cache key: a request at any
+	// parallelism is served a cached result solved at any other.
+	Parallelism int
 
 	// Obs, when non-nil, is the parent span request telemetry is
 	// recorded under. Not part of the cache key.
@@ -121,11 +138,17 @@ type Stats struct {
 	Truncated int64 `json:"truncated"`
 	Errors    int64 `json:"errors"`
 	InFlight  int64 `json:"in_flight"`
+	// Workers is the configured worker-pool size; InFlightRuns is the
+	// number of tasks (per-function solves and nested solver runs)
+	// executing on the pool right now.
+	Workers      int   `json:"workers"`
+	InFlightRuns int64 `json:"in_flight_runs"`
 }
 
 // Engine is safe for concurrent use by multiple goroutines.
 type Engine struct {
-	sem chan struct{}
+	pool        *work.Pool
+	parallelism int
 
 	mu       sync.Mutex
 	cache    *lru
@@ -151,9 +174,10 @@ func New(o Options) *Engine {
 		entries = 64
 	}
 	return &Engine{
-		sem:      make(chan struct{}, o.Workers),
-		cache:    newLRU(entries),
-		inflight: map[string]*call{},
+		pool:        work.NewPool(o.Workers),
+		parallelism: o.Parallelism,
+		cache:       newLRU(entries),
+		inflight:    map[string]*call{},
 	}
 }
 
@@ -161,7 +185,10 @@ func New(o Options) *Engine {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	s.Workers = e.pool.Cap()
+	s.InFlightRuns = e.pool.Active()
+	return s
 }
 
 // Align runs one alignment request. It returns an error only for
@@ -265,6 +292,13 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 	opts := tsp.PaperSolveOptions(req.Seed)
 	opts.Context = ctx
 	opts.Budget = req.Budget
+	opts.Parallelism = req.Parallelism
+	if opts.Parallelism == 0 {
+		opts.Parallelism = e.parallelism
+	}
+	// Nested run fan-out draws from the same pool as the per-function
+	// fan-out below, so Workers bounds the engine's total concurrency.
+	opts.Pool = e.pool
 
 	hkIters := req.HKIterations
 	if hkIters <= 0 {
@@ -282,32 +316,28 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 	stats := make([]FuncStat, n)
 	bounds := make([]align.FuncBoundResult, n)
 
-	var wg sync.WaitGroup
-	for fi, f := range mod.Funcs {
-		wg.Add(1)
-		e.sem <- struct{}{} // shared pool: bounds solves across requests
-		go func(fi int, f *ir.Func) {
-			defer wg.Done()
-			defer func() { <-e.sem }()
-			fr := t.SolveFunc(f, prof.Funcs[fi], req.Model, opts, int64(fi))
-			orders[fi] = fr.Order
-			stats[fi] = FuncStat{
-				Name:      f.Name,
-				Cities:    fr.Cities,
-				Order:     fr.Order,
-				Cost:      int64(fr.Cost),
-				Exact:     fr.Exact,
-				Truncated: fr.Truncated,
-				Kicks:     fr.Kicks,
-			}
-			if req.Bound {
-				ho := hkOpts
-				ho.Obs = req.Obs
-				bounds[fi] = align.FuncHeldKarpBoundResult(f, prof.Funcs[fi], req.Model, ho)
-			}
-		}(fi, f)
-	}
-	wg.Wait()
+	// Blocking fan-out on the shared pool: at most Workers per-function
+	// solves execute concurrently across all requests, exactly like the
+	// former per-engine semaphore.
+	e.pool.Each(n, func(fi int) {
+		f := mod.Funcs[fi]
+		fr := t.SolveFunc(f, prof.Funcs[fi], req.Model, opts, int64(fi))
+		orders[fi] = fr.Order
+		stats[fi] = FuncStat{
+			Name:      f.Name,
+			Cities:    fr.Cities,
+			Order:     fr.Order,
+			Cost:      int64(fr.Cost),
+			Exact:     fr.Exact,
+			Truncated: fr.Truncated,
+			Kicks:     fr.Kicks,
+		}
+		if req.Bound {
+			ho := hkOpts
+			ho.Obs = req.Obs
+			bounds[fi] = align.FuncHeldKarpBoundResult(f, prof.Funcs[fi], req.Model, ho)
+		}
+	})
 
 	res := &Result{Funcs: stats}
 	l := &layout.Layout{}

@@ -2,6 +2,7 @@ package tsp
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,41 +58,76 @@ func (c *cancelCheck) cancelled() bool {
 	return !c.deadline.IsZero() && time.Now().After(c.deadline)
 }
 
-// solveBudget tracks budget consumption across the runs of one Solve
-// call. allow is evaluated at every kick boundary and before each
-// local-search run; once it trips, it latches and the solve unwinds with
-// its best-so-far result.
+// solveBudget is the budget state shared by the (possibly concurrent)
+// local-search runs of one Solve call: the total kick count and the
+// latched cancellation observation are plain atomics, safe from any run
+// goroutine.
+//
+// Deliberately NOT shared: the MaxKicks allowance. A shared "first come,
+// first served" kick counter would hand out the budget in goroutine
+// scheduling order, making results depend on the schedule. Instead Solve
+// precomputes each run's kick quota from (MaxKicks, iterations per run,
+// run index) — exactly the kicks that run would have been allowed
+// sequentially — so budget exhaustion is schedule-independent; see
+// runBudget and the run-plan partition in Solve.
 type solveBudget struct {
 	check     cancelCheck
-	maxKicks  int64
-	kicks     int64
-	truncated bool
+	kicks     atomic.Int64
+	cancelled atomic.Bool
+}
+
+// cancelledNow reports (and latches) whether the solve's context or
+// deadline has fired. The latch makes later checks cheap and gives Solve
+// a single flag for the Truncated result bit. Time-based cancellation is
+// inherently schedule-dependent under parallelism; only the MaxKicks
+// path carries the determinism guarantee.
+func (b *solveBudget) cancelledNow() bool {
+	if b.cancelled.Load() {
+		return true
+	}
+	if b.check.cancelled() {
+		b.cancelled.Store(true)
+		return true
+	}
+	return false
+}
+
+// runBudget is one run's slice of the solve budget: a deterministic kick
+// quota (quota < 0 means unlimited) plus the shared cancellation check.
+// It is owned by a single run goroutine; only sb is shared.
+type runBudget struct {
+	sb      *solveBudget
+	quota   int64
+	used    int64
+	stopped bool
 }
 
 // spend records one consumed kick. Nil-safe, like allow.
-func (b *solveBudget) spend() {
-	if b != nil {
-		b.kicks++
+func (rb *runBudget) spend() {
+	if rb != nil {
+		rb.used++
+		rb.sb.kicks.Add(1)
 	}
 }
 
-// allow reports whether the next unit of work (a kick, or a whole run)
-// may start. The call order matters for exactness of the Truncated flag:
-// allow is only consulted when more work is actually planned, so a solve
-// that finishes precisely at its budget is not marked truncated.
-func (b *solveBudget) allow() bool {
-	if b == nil {
+// allow reports whether the next kick may start. The call order matters
+// for exactness of the Truncated flag: allow is only consulted when more
+// work is actually planned, so a run that finishes precisely at its
+// quota does not observe exhaustion here (Solve derives the Truncated
+// bit from the plan partition instead).
+func (rb *runBudget) allow() bool {
+	if rb == nil {
 		return true
 	}
-	if b.truncated {
+	if rb.stopped {
 		return false
 	}
-	if b.maxKicks > 0 && b.kicks >= b.maxKicks {
-		b.truncated = true
+	if rb.quota >= 0 && rb.used >= rb.quota {
+		rb.stopped = true
 		return false
 	}
-	if b.check.cancelled() {
-		b.truncated = true
+	if rb.sb.cancelledNow() {
+		rb.stopped = true
 		return false
 	}
 	return true

@@ -3,8 +3,11 @@ package tsp
 import (
 	"context"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"branchalign/internal/obs"
+	"branchalign/internal/work"
 )
 
 // DoubleBridge applies the classic 4-opt double-bridge kick to tour t and
@@ -14,21 +17,28 @@ import (
 // "randomly-chosen 4-Opt move" of Martin, Otto and Felten used by the
 // paper's solver). Tours with fewer than 4 cities are returned unchanged.
 func DoubleBridge(t Tour, rng *rand.Rand) Tour {
+	return doubleBridgeInto(make(Tour, 0, len(t)), t, rng)
+}
+
+// doubleBridgeInto is DoubleBridge writing into dst's storage (grown if
+// needed), so the solver's kick loop reuses one buffer instead of
+// allocating per kick. dst must not alias t. It consumes the random
+// stream exactly as DoubleBridge does: three Intn draws, none for tours
+// shorter than 4 cities.
+func doubleBridgeInto(dst, t Tour, rng *rand.Rand) Tour {
 	n := len(t)
-	out := t.Clone()
 	if n < 4 {
-		return out
+		return append(dst[:0], t...)
 	}
 	// Pick 1 <= p1 < p2 < p3 < n.
 	p1 := 1 + rng.Intn(n-3)
 	p2 := p1 + 1 + rng.Intn(n-p1-2)
 	p3 := p2 + 1 + rng.Intn(n-p2-1)
-	out = out[:0]
-	out = append(out, t[:p1]...)
-	out = append(out, t[p2:p3]...)
-	out = append(out, t[p1:p2]...)
-	out = append(out, t[p3:]...)
-	return out
+	dst = append(dst[:0], t[:p1]...)
+	dst = append(dst, t[p2:p3]...)
+	dst = append(dst, t[p1:p2]...)
+	dst = append(dst, t[p3:]...)
+	return dst
 }
 
 // IteratedThreeOpt runs Martin-Otto-Felten iterated local search: optimize
@@ -37,7 +47,7 @@ func DoubleBridge(t Tour, rng *rand.Rand) Tour {
 // kicked solution. It performs iters kick-and-reoptimize rounds and
 // returns the best tour found with its cost.
 func IteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand) (Tour, Cost) {
-	t, c, _ := iteratedThreeOpt(m, nb, start, iters, rng, nil, nil)
+	t, c, _ := iteratedThreeOpt(m, nb, nil, start, iters, rng, nil, nil)
 	return t, c
 }
 
@@ -50,47 +60,75 @@ type runTelemetry struct {
 	iterBest int
 }
 
-// iteratedThreeOpt is IteratedThreeOpt with telemetry and budgeting:
-// when sp is non-nil the cost-vs-iteration convergence series is
-// recorded on it (the initial local optimum plus every accepted kick),
-// and when bs is non-nil the kick loop stops at the first boundary where
-// the budget is exhausted or the context cancelled — the best tour found
-// so far is returned either way. The run statistics are returned in all
-// cases; they cost a handful of integer updates per kick, far off the
-// 3-opt inner loop.
-func iteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.Rand, sp *obs.Span, bs *solveBudget) (Tour, Cost, runTelemetry) {
+// solveWorkspace holds one run's reusable scratch: the local-search
+// state and the incumbent/best/kick tour buffers. Runs hand workspaces
+// back through a per-solve sync.Pool, so a solve allocates one workspace
+// per concurrently executing run instead of one optimizer plus three
+// tours per kick. Reuse is exact: SetTour resets every piece of
+// optimizer state a fresh NewThreeOpt would initialize (the move
+// counters keep accumulating, which iteratedThreeOpt corrects for by
+// differencing), so a reused workspace yields bit-identical results to a
+// fresh one.
+type solveWorkspace struct {
+	o    *ThreeOpt
+	cur  Tour
+	best Tour
+	kick Tour
+}
+
+// iteratedThreeOpt is IteratedThreeOpt with telemetry, budgeting and
+// workspace reuse: when sp is non-nil the cost-vs-iteration convergence
+// series is recorded on it (the initial local optimum plus every
+// accepted kick), and when rb is non-nil the kick loop stops at the
+// first boundary where the run's kick quota is exhausted or the context
+// cancelled — the best tour found so far is returned either way. ws may
+// be nil (a fresh workspace is used) or recycled from a previous run on
+// the same instance. The run statistics are returned in all cases; they
+// cost a handful of integer updates per kick, far off the 3-opt inner
+// loop.
+func iteratedThreeOpt(m Costs, nb *Neighbors, ws *solveWorkspace, start Tour, iters int, rng *rand.Rand, sp *obs.Span, rb *runBudget) (Tour, Cost, runTelemetry) {
 	if nb == nil {
 		nb = BuildNeighbors(m, DefaultNeighborCount, ForbidCost(m))
 	}
+	if ws == nil {
+		ws = &solveWorkspace{}
+	}
 	var rt runTelemetry
-	o := NewThreeOpt(m, nb, start)
+	if ws.o == nil {
+		ws.o = NewThreeOpt(m, nb, start)
+	} else {
+		ws.o.SetTour(start)
+	}
+	o := ws.o
+	tried0, accepted0 := o.Moves()
 	o.Optimize()
-	cur := o.Tour()
+	ws.cur = append(ws.cur[:0], o.t...)
 	curCost := o.Cost()
-	best := cur.Clone()
+	ws.best = append(ws.best[:0], ws.cur...)
 	bestCost := curCost
 	series := sp.Series("tour_cost")
 	series.Add(0, float64(curCost))
-	for i := 0; i < iters && bs.allow(); i++ {
-		bs.spend()
-		kicked := DoubleBridge(cur, rng)
-		o.SetTour(kicked)
+	for i := 0; i < iters && rb.allow(); i++ {
+		rb.spend()
+		ws.kick = doubleBridgeInto(ws.kick, ws.cur, rng)
+		o.SetTour(ws.kick)
 		o.Optimize()
 		rt.kicks++
 		if o.Cost() <= curCost {
 			rt.kickAccepts++
-			cur = o.Tour()
+			ws.cur = append(ws.cur[:0], o.t...)
 			curCost = o.Cost()
 			series.Add(int64(i+1), float64(curCost))
 			if curCost < bestCost {
-				best = cur.Clone()
+				ws.best = append(ws.best[:0], ws.cur...)
 				bestCost = curCost
 				rt.iterBest = i + 1
 			}
 		}
 	}
-	rt.movesTried, rt.movesAccepted = o.Moves()
-	return best, bestCost, rt
+	tried, accepted := o.Moves()
+	rt.movesTried, rt.movesAccepted = tried-tried0, accepted-accepted0
+	return ws.best.Clone(), bestCost, rt
 }
 
 // SolveOptions configures Solve.
@@ -124,8 +162,24 @@ type SolveOptions struct {
 	// all-edges sort would dominate the whole solve on large functions.
 	// <= 0 selects a default of 4096.
 	GreedyMaxCities int
-	// Seed seeds the deterministic random stream.
+	// Seed seeds the deterministic random stream. Each local-search run
+	// draws from its own stream, derived from (Seed, run index, start
+	// kind) by a splitmix64 mixer, so the result is a function of Seed
+	// alone — identical at every Parallelism setting.
 	Seed int64
+	// Parallelism is the maximum number of local-search runs executed
+	// concurrently within this solve. 0 and 1 run sequentially; negative
+	// values select GOMAXPROCS. The result is bit-identical at every
+	// setting (only wall-clock changes); see Seed.
+	Parallelism int
+	// Pool, when non-nil, is the bounded worker pool concurrent runs are
+	// scheduled on; nil with Parallelism > 1 uses the process-wide
+	// work.Shared() pool. Sharing one pool with per-function callers
+	// (align, the engine) keeps the two parallelism layers from
+	// oversubscribing the machine: nested run fan-out only recruits
+	// workers the pool has free, and degrades to the calling goroutine
+	// otherwise.
+	Pool *work.Pool
 	// Obs, when non-nil, is the parent span solver telemetry is recorded
 	// under: a "tsp.solve" child span with one "tsp.run" span (carrying
 	// the tour-cost convergence series and move counters) per
@@ -191,6 +245,57 @@ type Result struct {
 	Truncated bool
 }
 
+// startKind identifies how a local-search run's start tour is built. The
+// numeric value feeds the per-run seed derivation, so the constants are
+// part of the reproducibility contract: reordering them reseeds every
+// solve.
+type startKind uint8
+
+const (
+	startGreedy startKind = iota
+	startNN
+	startIdentity
+	startPatching
+)
+
+func (k startKind) String() string {
+	switch k {
+	case startGreedy:
+		return "greedy"
+	case startNN:
+		return "nn"
+	case startIdentity:
+		return "identity"
+	default:
+		return "patching"
+	}
+}
+
+// splitmix64 is the finalizer of Steele, Lea and Flood's SplitMix64
+// generator — a cheap, well-mixed 64-bit permutation used to derive
+// independent per-run seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// runSeed derives the random-stream seed for one local-search run from
+// the solve seed, the run's index in the plan, and its start kind. Each
+// run owning an independent stream is what makes the solve a pure
+// function of SolveOptions.Seed regardless of execution schedule. The
+// kind participates so that a run whose construction changes (the
+// greedy-to-NN substitution above GreedyMaxCities) also changes stream —
+// two different protocols never share randomness by coincidence of
+// position.
+func runSeed(seed int64, run int, kind startKind) int64 {
+	x := splitmix64(uint64(seed))
+	x = splitmix64(x + uint64(run))
+	x = splitmix64(x + uint64(kind))
+	return int64(x)
+}
+
 // denseSolveCutover is the instance size below which Solve materializes
 // a sparse instance densely before running local search: the kernels are
 // At-bound, and at a few dozen cities the whole dense matrix is smaller
@@ -199,12 +304,33 @@ type Result struct {
 // neighbor lists, the implicit 1-tree) only pay off above this size.
 const denseSolveCutover = 24
 
+// runOutcome is one run's contribution to the deterministic merge.
+// executed distinguishes runs skipped by cancellation (which sequential
+// execution would also have skipped) from completed ones.
+type runOutcome struct {
+	executed bool
+	tour     Tour
+	cost     Cost
+	rt       runTelemetry
+}
+
 // Solve finds a low-cost directed Hamiltonian cycle for m using the
 // configured multi-start iterated 3-opt protocol (or exact DP for small
 // instances). It accepts any cost representation and returns identical
 // results for dense and sparse views of the same instance (densifying a
 // tiny sparse instance preserves every At value, and all kernels are
 // pure functions of those values).
+//
+// The runs of the protocol are independent: each draws randomness from
+// its own stream (see runSeed) and they execute concurrently when
+// SolveOptions.Parallelism allows, merging deterministically afterwards
+// — lowest cost wins, ties broken by run-plan order. The result is
+// therefore bit-identical across Parallelism settings, GOMAXPROCS
+// values and goroutine schedules; only wall-clock time and the
+// interleaving of telemetry events vary. The one exception is
+// time-based truncation (Context, Budget.Deadline), which by nature
+// depends on when each run observes the cutoff; Budget.MaxKicks
+// truncation is partitioned deterministically and stays bit-identical.
 func Solve(m Costs, opt SolveOptions) Result {
 	n := m.Len()
 	sp := opt.Obs.Child("tsp.solve", obs.Int("cities", int64(n)))
@@ -228,76 +354,145 @@ func Solve(m Costs, opt SolveOptions) Result {
 	if opt.MaxIterations > 0 && iters > opt.MaxIterations {
 		iters = opt.MaxIterations
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	nb := BuildNeighbors(m, opt.NeighborK, ForbidCost(m))
 	greedyMax := opt.GreedyMaxCities
 	if greedyMax <= 0 {
 		greedyMax = 4096
 	}
-	bs := &solveBudget{check: newCancelCheck(opt.Context, opt.Budget), maxKicks: opt.Budget.MaxKicks}
 
-	var res Result
-	consider := func(t Tour, c Cost, rt runTelemetry) {
-		res.Runs++
-		res.MovesTried += rt.movesTried
-		res.MovesAccepted += rt.movesAccepted
-		switch {
-		case res.Tour == nil || c < res.Cost:
-			res.Tour = t
-			res.Cost = c
-			res.RunsAtBest = 1
-			res.IterationsToBest = rt.iterBest
-		case c == res.Cost:
-			res.RunsAtBest++
+	// The run plan: the protocol's start kinds in canonical order. Every
+	// run's seed, kick quota and merge position follow from its index
+	// here, which is what makes execution order irrelevant.
+	kinds := make([]startKind, 0, opt.GreedyStarts+opt.NNStarts+opt.IdentityStarts+opt.PatchingStarts)
+	for i := 0; i < opt.GreedyStarts; i++ {
+		if n > greedyMax {
+			kinds = append(kinds, startNN)
+		} else {
+			kinds = append(kinds, startGreedy)
 		}
 	}
-	// run performs one iterated-local-search run from the given start
-	// tour, recording a "tsp.run" span when tracing is on.
-	run := func(kind string, start Tour) {
-		rs := sp.Child("tsp.run", obs.String("start", kind), obs.Int("run", int64(res.Runs)))
+	for i := 0; i < opt.NNStarts; i++ {
+		kinds = append(kinds, startNN)
+	}
+	for i := 0; i < opt.IdentityStarts; i++ {
+		kinds = append(kinds, startIdentity)
+	}
+	for i := 0; i < opt.PatchingStarts; i++ {
+		kinds = append(kinds, startPatching)
+	}
+
+	// Deterministic MaxKicks partition, replicating sequential
+	// consumption: run i would start with i*iters kicks already spent, so
+	// it runs only if that is under the budget and gets the remainder,
+	// capped at its own iteration count. A protocol that finishes exactly
+	// at the budget is not truncated (sequential execution would never
+	// have consulted the budget again).
+	planned := len(kinds)
+	quotaTrunc := false
+	maxKicks := opt.Budget.MaxKicks
+	if maxKicks > 0 && iters > 0 && maxKicks < int64(planned)*int64(iters) {
+		quotaTrunc = true
+		planned = int((maxKicks + int64(iters) - 1) / int64(iters))
+	}
+	sb := &solveBudget{check: newCancelCheck(opt.Context, opt.Budget)}
+
+	outcomes := make([]runOutcome, planned)
+	var wsPool sync.Pool // *solveWorkspace, all bound to (m, nb)
+	// doRun performs the plan's i-th iterated-local-search run from its
+	// own seeded stream, recording a "tsp.run" span when tracing is on.
+	// It is called at most once per i, possibly concurrently.
+	doRun := func(i int) {
+		if sb.cancelledNow() {
+			// Sequential execution checks the budget before each run;
+			// an unexecuted run contributes nothing to the merge.
+			return
+		}
+		kind := kinds[i]
+		rng := rand.New(rand.NewSource(runSeed(opt.Seed, i, kind)))
+		var start Tour
+		switch kind {
+		case startGreedy:
+			start = GreedyEdge(m, rng)
+		case startNN:
+			start = NearestNeighbor(m, rng.Intn(n), rng)
+		case startIdentity:
+			start = IdentityTour(n)
+		case startPatching:
+			start, _ = SolvePatching(m)
+		}
+		rb := &runBudget{sb: sb, quota: -1}
+		if maxKicks > 0 && iters > 0 {
+			rb.quota = maxKicks - int64(i)*int64(iters)
+			if rb.quota > int64(iters) {
+				rb.quota = int64(iters)
+			}
+		}
+		rs := sp.Child("tsp.run", obs.String("start", kind.String()), obs.Int("run", int64(i)))
 		if rs != nil {
 			rs.SetAttrs(obs.Int("start_cost", CycleCost(m, start)))
 		}
-		t, c, rt := iteratedThreeOpt(m, nb, start, iters, rng, rs, bs)
+		ws, _ := wsPool.Get().(*solveWorkspace)
+		if ws == nil {
+			ws = &solveWorkspace{}
+		}
+		t, c, rt := iteratedThreeOpt(m, nb, ws, start, iters, rng, rs, rb)
+		wsPool.Put(ws)
 		rs.Count("tsp.kicks", rt.kicks)
 		rs.Count("tsp.moves_tried", rt.movesTried)
 		rs.Count("tsp.moves_accepted", rt.movesAccepted)
 		rs.End(obs.Int("cost", c), obs.Int("iter_best", int64(rt.iterBest)),
 			obs.Int("kicks", rt.kicks), obs.Int("kick_accepts", rt.kickAccepts),
 			obs.Int("moves_tried", rt.movesTried), obs.Int("moves_accepted", rt.movesAccepted))
-		consider(t, c, rt)
+		outcomes[i] = runOutcome{executed: true, tour: t, cost: c, rt: rt}
 	}
-	// Each loop consults the budget only when another run is actually
-	// planned, so a solve that completes its protocol exactly at the
-	// budget is not marked truncated; a tripped budget skips every
-	// remaining run (and its start-tour construction).
-	for i := 0; i < opt.GreedyStarts && bs.allow(); i++ {
-		if n > greedyMax {
-			run("nn", NearestNeighbor(m, rng.Intn(n), rng))
-		} else {
-			run("greedy", GreedyEdge(m, rng))
+	par := opt.Parallelism
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	var pool *work.Pool
+	if par > 1 {
+		pool = opt.Pool
+		if pool == nil {
+			pool = work.Shared()
 		}
 	}
-	for i := 0; i < opt.NNStarts && bs.allow(); i++ {
-		run("nn", NearestNeighbor(m, rng.Intn(n), rng))
-	}
-	for i := 0; i < opt.IdentityStarts && bs.allow(); i++ {
-		run("identity", IdentityTour(n))
-	}
-	for i := 0; i < opt.PatchingStarts && bs.allow(); i++ {
-		start, _ := SolvePatching(m)
-		run("patching", start)
+	pool.Nested(planned, par, doRun)
+
+	// Deterministic merge in plan order: lowest cost wins, ties go to
+	// the earliest run, counters aggregate over executed runs — exactly
+	// the sequential fold.
+	var res Result
+	for i := range outcomes {
+		oc := &outcomes[i]
+		if !oc.executed {
+			continue
+		}
+		res.Runs++
+		res.MovesTried += oc.rt.movesTried
+		res.MovesAccepted += oc.rt.movesAccepted
+		switch {
+		case res.Tour == nil || oc.cost < res.Cost:
+			res.Tour = oc.tour
+			res.Cost = oc.cost
+			res.RunsAtBest = 1
+			res.IterationsToBest = oc.rt.iterBest
+		case oc.cost == res.Cost:
+			res.RunsAtBest++
+		}
 	}
 	if res.Tour == nil {
-		// Cancelled before the first run produced anything: the compiler
-		// order is the valid best-so-far layout.
+		// Cancelled before the first run produced anything (or an empty
+		// protocol): the compiler order is the valid best-so-far layout.
 		res.Tour = IdentityTour(n)
 		res.Cost = CycleCost(m, res.Tour)
 		res.Runs = 1
 		res.RunsAtBest = 1
 	}
-	res.Kicks = bs.kicks
-	res.Truncated = bs.truncated
+	res.Kicks = sb.kicks.Load()
+	res.Truncated = quotaTrunc || sb.cancelled.Load()
 	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", false), obs.Bool("truncated", res.Truncated),
 		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
 		obs.Int("iter_best", int64(res.IterationsToBest)),

@@ -65,11 +65,18 @@ func NewThreeOpt(m Costs, nb *Neighbors, t Tour) *ThreeOpt {
 }
 
 // SetTour replaces the current tour (copying it) and resets search state.
+// The copy goes into the existing tour buffer, so after construction
+// SetTour allocates nothing — the solver's kick loop resets the search
+// once per kick.
 func (o *ThreeOpt) SetTour(t Tour) {
 	if !t.Valid(o.n) {
 		panic("tsp: ThreeOpt.SetTour: invalid tour")
 	}
-	o.t = t.Clone()
+	if len(o.t) == o.n {
+		copy(o.t, t)
+	} else {
+		o.t = t.Clone()
+	}
 	for i, city := range o.t {
 		o.pos[city] = i
 	}

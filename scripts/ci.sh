@@ -26,6 +26,12 @@ go test -race -count=2 ./internal/obs/ ./internal/tsp/
 echo "== go test -race (engine + balignd + suite, request-serving stack)"
 go test -race -count=2 ./internal/engine/ ./cmd/balignd/ ./internal/core/
 
+echo "== go test -race GOMAXPROCS=2 (schedule-independence of parallel solves)"
+# Determinism must survive real preemption: with two OS threads the race
+# detector interleaves the per-run goroutines for real, and the bit-identity
+# tests fail loudly if any result depends on scheduling order.
+GOMAXPROCS=2 go test -race -count=2 -run 'Parallel|Determin' ./internal/tsp/ ./internal/align/
+
 echo "== go test -race"
 go test -race ./...
 
