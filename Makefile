@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks bench bench-snapshot trace-demo serve-demo clean
+.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks vet-static bench bench-snapshot trace-demo serve-demo clean
 
-ci: fmt vet build race-obs race-engine race vet-benchmarks
+ci: fmt vet build race-obs race-engine race vet-static
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -41,6 +41,11 @@ race-engine:
 # Run the pipeline-wide invariant checker over every bundled benchmark.
 vet-benchmarks:
 	$(GO) run ./cmd/balign vet -all
+
+# Static gates: the benchmark invariant checker plus the determinism
+# linter over the repo's own Go sources (see cmd/balignlint).
+vet-static: vet-benchmarks
+	$(GO) run ./cmd/balignlint
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -49,6 +49,7 @@ import (
 	"branchalign/internal/obs"
 	"branchalign/internal/opt"
 	"branchalign/internal/pipe"
+	"branchalign/internal/staticprof"
 	"branchalign/internal/stats"
 	"branchalign/internal/tsp"
 )
@@ -90,6 +91,7 @@ func run(args []string) (err error) {
 		showOrder = fs.Bool("orders", false, "print the block order of every function")
 		bound     = fs.Bool("bound", false, "also compute the Held-Karp lower bound")
 		optimize  = fs.Bool("opt", false, "run CFG cleanup (jump threading, block merging) before aligning")
+		profMode  = fs.String("profile", "measured", "profile source: measured (run the program on its training input) or static (estimate edge frequencies from CFG structure, no execution)")
 		profOut   = fs.String("profile-out", "", "write the training profile as JSON")
 		profIn    = fs.String("profile-in", "", "read the training profile from JSON instead of running the program")
 		layoutOut = fs.String("layout-out", "", "write the chosen aligner's layout as JSON (single -aligner only)")
@@ -165,7 +167,20 @@ func run(args []string) (err error) {
 	}
 
 	var prof *interp.Profile
-	if *profIn != "" {
+	if *profMode != "measured" && *profMode != "static" {
+		return fmt.Errorf("unknown -profile %q (want measured or static)", *profMode)
+	}
+	if *profMode == "static" {
+		if *profIn != "" {
+			return fmt.Errorf("-profile=static conflicts with -profile-in: the estimate replaces any recorded profile")
+		}
+		psp := root.Child("estimate")
+		var info *staticprof.Info
+		prof, info = staticprof.Estimate(mod)
+		psp.End(obs.Int("scale", info.Scale))
+		fmt.Printf("estimated static profile: scale %d per entry, %d branch sites covered\n",
+			info.Scale, prof.BranchSitesTouched(mod))
+	} else if *profIn != "" {
 		f, err := os.Open(*profIn)
 		if err != nil {
 			return err

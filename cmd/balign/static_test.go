@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunStaticProfile drives the full CLI path with -profile=static: no
+// training input at all, the estimator supplies the edge frequencies.
+func TestRunStaticProfile(t *testing.T) {
+	if err := run([]string{"-bench", "compress", "-profile", "static", "-aligner", "tsp"}); err != nil {
+		t.Fatalf("balign -profile=static: %v", err)
+	}
+}
+
+// TestRunStaticProfileOut writes the estimated profile as JSON — the
+// same wire format as a measured one, so it round-trips through
+// -profile-in on a later (measured-mode) run.
+func TestRunStaticProfileOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "static.json")
+	if err := run([]string{"-bench", "compress", "-profile", "static", "-aligner", "tsp", "-profile-out", out}); err != nil {
+		t.Fatalf("writing estimated profile: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "EdgeCounts") {
+		t.Error("estimated profile JSON missing EdgeCounts")
+	}
+	if err := run([]string{"-bench", "compress", "-aligner", "tsp", "-profile-in", out}); err != nil {
+		t.Fatalf("re-reading estimated profile: %v", err)
+	}
+}
+
+func TestRunStaticProfileFlagErrors(t *testing.T) {
+	if err := run([]string{"-bench", "compress", "-profile", "oracle"}); err == nil {
+		t.Error("unknown -profile value accepted")
+	}
+	in := filepath.Join(t.TempDir(), "prof.json")
+	if err := os.WriteFile(in, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "compress", "-profile", "static", "-profile-in", in}); err == nil {
+		t.Error("-profile=static with -profile-in accepted")
+	}
+}

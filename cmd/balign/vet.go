@@ -12,6 +12,7 @@ import (
 	"branchalign/internal/interp"
 	"branchalign/internal/ir"
 	"branchalign/internal/machine"
+	"branchalign/internal/staticprof"
 )
 
 // runVet implements `balign vet`: compile and profile a program (or every
@@ -98,6 +99,14 @@ func vetProgram(name string, mod *ir.Module, inputs []interp.Input, aligners []a
 	// layout-independent: audit them once.
 	base := check.Module(mod)
 	base.Merge(check.Flow(mod, prof))
+	// CFG-shape lints (unreachable blocks, irreducible loops, statically
+	// infinite loops, cold-but-deep regions) plus the estimator
+	// self-check: the static profile must satisfy flow conservation by
+	// construction, so a violation here is an estimator bug, not a
+	// program property.
+	base.Merge(staticprof.Lint(mod))
+	est, _ := staticprof.Estimate(mod)
+	base.Merge(check.Flow(mod, est))
 	ok := printVetReport(name, base, verbose)
 	for _, a := range aligners {
 		l := a.Align(context.Background(), mod, prof, model)

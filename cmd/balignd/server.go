@@ -87,6 +87,14 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Catch-all: unknown routes get the same structured JSON error body
+	// as every other failure, not net/http's plain-text 404 page.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path),
+			Kind:  "not_found",
+		})
+	})
 	return s
 }
 
@@ -105,6 +113,11 @@ type alignRequest struct {
 	N    *int64  `json:"n,omitempty"`
 	// Profile, when present, is used instead of running the program.
 	Profile json.RawMessage `json:"profile,omitempty"`
+	// ProfileMode selects where the profile comes from: "measured" (the
+	// default — run the program or use Profile) or "static" (no profiling
+	// at all: the engine estimates edge frequencies from CFG structure;
+	// Data/N/Profile must be absent).
+	ProfileMode string `json:"profile_mode,omitempty"`
 
 	Model string `json:"model,omitempty"`
 	Seed  int64  `json:"seed,omitempty"`
@@ -135,14 +148,47 @@ type alignResponse struct {
 	Truncated       bool    `json:"truncated"`
 	CacheHit        bool    `json:"cache_hit"`
 	Coalesced       bool    `json:"coalesced"`
+	// ProfileSource reports what drove the alignment: "measured" or
+	// "static" (estimated; such results live in a disjoint cache
+	// partition from measured ones).
+	ProfileSource string `json:"profile_source"`
 
 	Funcs       []engine.FuncStat `json:"funcs"`
 	ElapsedMS   float64           `json:"elapsed_ms"`
 	TraceEvents []obs.Event       `json:"trace_events,omitempty"`
 }
 
+// errorResponse is the structured error body every non-200 carries:
+// Error is the human-readable message, Kind a stable machine-readable
+// discriminator clients can switch on without parsing prose.
 type errorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// errKind classifies an error into the wire discriminator.
+func errKind(code int, err error) string {
+	switch {
+	case errors.Is(err, engine.ErrNoModule):
+		return "no_module"
+	case errors.Is(err, engine.ErrNoProfile):
+		return "no_profile"
+	case errors.Is(err, engine.ErrProfileConflict):
+		return "profile_conflict"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	}
+	switch code {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusTooManyRequests:
+		return "capacity"
+	case http.StatusServiceUnavailable:
+		return "timeout"
+	}
+	return "internal"
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -194,7 +240,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		// path.
 		s.stats.Shed.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity", Kind: "capacity"})
 		return
 	}
 
@@ -231,12 +277,16 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {
 	s.stats.Errors.Add(1)
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	writeJSON(w, code, errorResponse{Error: err.Error(), Kind: errKind(code, err)})
 }
 
 // align resolves the request into a module+profile and runs it through
 // the engine. The int return is the HTTP status to use when err != nil.
 func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, int, error) {
+	static, err := pickProfileMode(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	mod, inputs, err := buildModule(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -245,9 +295,12 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	prof, err := buildProfile(mod, inputs, req.Profile)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
+	var prof *interp.Profile
+	if !static {
+		prof, err = buildProfile(mod, inputs, req.Profile)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 	}
 
 	var (
@@ -262,10 +315,11 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 	}
 
 	eres, err := s.eng.Align(ctx, engine.Request{
-		Module:  mod,
-		Profile: prof,
-		Model:   model,
-		Seed:    req.Seed,
+		Module:        mod,
+		Profile:       prof,
+		StaticProfile: static,
+		Model:         model,
+		Seed:          req.Seed,
 		Budget: tsp.Budget{
 			MaxKicks:        req.MaxKicks,
 			MaxHKIterations: 0, // the iterate count is HKIterations itself
@@ -292,7 +346,11 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		Truncated:       eres.Truncated,
 		CacheHit:        eres.CacheHit,
 		Coalesced:       eres.Coalesced,
+		ProfileSource:   "measured",
 		Funcs:           eres.Funcs,
+	}
+	if eres.ProfileEstimated {
+		resp.ProfileSource = "static"
 	}
 	if req.Trace {
 		root.End(obs.Bool("truncated", eres.Truncated))
@@ -302,6 +360,25 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		resp.TraceEvents = sink.Events()
 	}
 	return resp, 0, nil
+}
+
+// pickProfileMode validates the request's profile_mode and its
+// interaction with the profile-bearing fields. It returns whether the
+// engine should estimate the profile statically.
+func pickProfileMode(req alignRequest) (bool, error) {
+	switch req.ProfileMode {
+	case "", "measured":
+		return false, nil
+	case "static":
+		// A static request must not also carry profiling inputs: silently
+		// ignoring them would hide a client bug, so conflict loudly (the
+		// engine sentinel keeps the wire kind "profile_conflict").
+		if len(req.Profile) > 0 || len(req.Data) > 0 || req.N != nil {
+			return false, fmt.Errorf("profile_mode \"static\" excludes profile/data/n: %w", engine.ErrProfileConflict)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown profile_mode %q (want \"measured\" or \"static\")", req.ProfileMode)
 }
 
 // buildModule compiles the requested program — inline Mini-C source or

@@ -66,6 +66,7 @@ func savingsWeights(f *ir.Func, fp *interp.FuncProfile, m machine.Model) []cfgEd
 		}
 	}
 	edges := make([]cfgEdge, 0, len(merged))
+	//balignlint:ignore order laundered: chainAndOrder sorts edges with a total tie-break
 	for k, w := range merged {
 		if w <= 0 {
 			continue

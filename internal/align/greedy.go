@@ -51,6 +51,7 @@ func frequencyWeights(f *ir.Func, fp *interp.FuncProfile) []cfgEdge {
 		}
 	}
 	edges := make([]cfgEdge, 0, len(merged))
+	//balignlint:ignore order laundered: chainAndOrder sorts edges with a total tie-break
 	for k, w := range merged {
 		edges = append(edges, cfgEdge{from: k[0], to: k[1], weight: w})
 	}

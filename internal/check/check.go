@@ -87,6 +87,18 @@ const (
 	// ClassDeadStore: a side-effect-free definition whose value is never
 	// read before being overwritten.
 	ClassDeadStore Class = "dead-store"
+	// ClassIrreducible: the CFG contains a cycle that is not a natural
+	// loop (multiple-entry region), which structured loop analyses and
+	// the static profile estimator can only approximate.
+	ClassIrreducible Class = "irreducible-loop"
+	// ClassInfiniteLoop: a loop with no exit edge — statically certain to
+	// never terminate once entered (legal IR, but usually a bug in the
+	// source program, and the estimator assigns it zero flow).
+	ClassInfiniteLoop Class = "static-infinite-loop"
+	// ClassColdDeep: a block nested ≥ 2 loops deep whose statically
+	// estimated frequency is below the function entry's — deep code the
+	// heuristics consider nearly dead, worth a human look.
+	ClassColdDeep Class = "cold-deep"
 )
 
 // Report collects findings from one checker run.
@@ -114,6 +126,12 @@ func (i Issue) String() string {
 		loc += ": "
 	}
 	return fmt.Sprintf("%s [%s] %s%s", i.Severity, i.Class, loc, i.Msg)
+}
+
+// Add appends a finding from an analysis living outside this package
+// (e.g. staticprof.Lint) that reports through the shared Report type.
+func (r *Report) Add(sev Severity, class Class, fn string, block int, format string, args ...any) {
+	r.add(sev, class, fn, block, format, args...)
 }
 
 // add appends a finding.

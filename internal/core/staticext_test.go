@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestExtStaticProfile pins the headline acceptance criterion of the
+// static estimator: across the full six-benchmark suite, TSP alignment
+// on the estimated profile must remove at least half of the control
+// penalty that TSP on the measured profile removes (both vs the
+// compiler order, charged under the measured profile). Runs the full
+// suite — restricting to a subset would change the aggregate.
+func TestExtStaticProfile(t *testing.T) {
+	s := NewSuite(1)
+	rows, err := s.ExtStaticProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 benchmarks x 2 data sets
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.OrigCP < r.MeasuredCP {
+			t.Errorf("%s.%s: measured TSP (%d) worse than compiler order (%d)",
+				r.Bench, r.DataSet, r.MeasuredCP, r.OrigCP)
+		}
+		if r.OrigCycles <= 0 || r.MeasuredCycles <= 0 || r.StaticCycles <= 0 {
+			t.Errorf("%s.%s: empty simulation", r.Bench, r.DataSet)
+		}
+		if got := recoveredFraction(r.OrigCP, r.MeasuredCP, r.StaticCP); got != r.Recovered {
+			t.Errorf("%s.%s: Recovered %v inconsistent with penalties (%v)",
+				r.Bench, r.DataSet, r.Recovered, got)
+		}
+	}
+	agg := StaticRecoveredAggregate(rows)
+	t.Logf("aggregate recovery: static-profile TSP removes %.1f%% of what measured-profile TSP removes", 100*agg)
+	if agg < 0.5 {
+		t.Errorf("aggregate recovery %.3f below the 0.5 acceptance floor", agg)
+	}
+	// And the estimate must never be a net loss vs doing nothing, in
+	// aggregate: static-profile TSP should beat the compiler order.
+	var orig, static Cost
+	for _, r := range rows {
+		orig += r.OrigCP
+		static += r.StaticCP
+	}
+	if static >= orig {
+		t.Errorf("static-profile TSP (%d) did not beat compiler order (%d) in aggregate", static, orig)
+	}
+}

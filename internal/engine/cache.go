@@ -21,8 +21,19 @@ import (
 func requestKey(req Request) (string, error) {
 	h := sha256.New()
 	io.WriteString(h, req.Module.String())
-	if err := req.Profile.WriteJSON(h); err != nil {
-		return "", fmt.Errorf("engine: hashing profile: %w", err)
+	// The profile mode is a structural key component: a static-profile
+	// request hashes the mode tag instead of profile bytes (the estimate
+	// is a pure function of the module), and a measured request hashes
+	// the profile bytes under a different tag — so estimated and measured
+	// results can never collide, even if the estimator ever reproduced a
+	// measured profile bit for bit.
+	if req.StaticProfile {
+		io.WriteString(h, "|pmode=static")
+	} else {
+		io.WriteString(h, "|pmode=measured|")
+		if err := req.Profile.WriteJSON(h); err != nil {
+			return "", fmt.Errorf("engine: hashing profile: %w", err)
+		}
 	}
 	// machine.Model is all scalars, so its fmt image is a faithful key
 	// component.

@@ -25,6 +25,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,8 +36,25 @@ import (
 	"branchalign/internal/layout"
 	"branchalign/internal/machine"
 	"branchalign/internal/obs"
+	"branchalign/internal/staticprof"
 	"branchalign/internal/tsp"
 	"branchalign/internal/work"
+)
+
+// Request validation errors. Each malformed-request shape gets its own
+// sentinel so callers (balignd's structured error bodies, tests) can
+// tell the user precisely what to fix instead of parsing a blanket
+// message.
+var (
+	// ErrNoModule: the request carries no module at all.
+	ErrNoModule = errors.New("engine: request needs a Module")
+	// ErrNoProfile: the request carries no profile and did not opt into
+	// static estimation (set StaticProfile to run profile-less).
+	ErrNoProfile = errors.New("engine: request needs a Profile (or StaticProfile to estimate one)")
+	// ErrProfileConflict: the request supplied a measured profile and
+	// asked for static estimation at the same time; the engine refuses to
+	// guess which one the caller meant.
+	ErrProfileConflict = errors.New("engine: request sets both Profile and StaticProfile")
 )
 
 // Options configures an Engine.
@@ -64,6 +82,13 @@ type Request struct {
 	Module  *ir.Module
 	Profile *interp.Profile
 	Model   machine.Model
+
+	// StaticProfile runs the request profile-less: the engine estimates a
+	// synthetic profile from CFG structure (staticprof.Estimate) and
+	// aligns against it. Mutually exclusive with Profile. Estimated and
+	// measured requests can never collide in the result cache — the
+	// profile mode is a structural component of the cache key.
+	StaticProfile bool
 
 	// Seed is the solver seed (function i solves with Seed+i, as the
 	// align.TSP aligner does). The zero seed is valid and deterministic.
@@ -126,7 +151,10 @@ type Result struct {
 	// Coalesced that it was shared with a concurrent identical request.
 	CacheHit  bool
 	Coalesced bool
-	Funcs     []FuncStat
+	// ProfileEstimated reports that the profile driving this alignment
+	// was synthesized by the static estimator rather than measured.
+	ProfileEstimated bool
+	Funcs            []FuncStat
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -195,10 +223,16 @@ func (e *Engine) Stats() Stats {
 // malformed requests; cancellation and deadline expiry yield a valid
 // truncated Result, never an error (the anytime contract).
 func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
-	if req.Module == nil || req.Profile == nil {
-		return nil, fmt.Errorf("engine: request needs Module and Profile")
+	if req.Module == nil {
+		return nil, ErrNoModule
 	}
-	if len(req.Profile.Funcs) != len(req.Module.Funcs) {
+	if req.Profile == nil && !req.StaticProfile {
+		return nil, ErrNoProfile
+	}
+	if req.Profile != nil && req.StaticProfile {
+		return nil, ErrProfileConflict
+	}
+	if req.Profile != nil && len(req.Profile.Funcs) != len(req.Module.Funcs) {
 		return nil, fmt.Errorf("engine: profile has %d functions, module has %d",
 			len(req.Profile.Funcs), len(req.Module.Funcs))
 	}
@@ -289,6 +323,12 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 // worker pool.
 func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 	mod, prof := req.Module, req.Profile
+	if req.StaticProfile {
+		// Profile-less request: estimate one from CFG structure. The
+		// estimate is a pure function of the module, so the cache key's
+		// profile-mode tag plus the module digest fully determine it.
+		prof, _ = staticprof.Estimate(mod)
+	}
 	opts := tsp.PaperSolveOptions(req.Seed)
 	opts.Context = ctx
 	opts.Budget = req.Budget
@@ -339,7 +379,7 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 		}
 	})
 
-	res := &Result{Funcs: stats}
+	res := &Result{Funcs: stats, ProfileEstimated: req.StaticProfile}
 	l := &layout.Layout{}
 	for fi, f := range mod.Funcs {
 		l.Funcs = append(l.Funcs, layout.Finalize(f, prof.Funcs[fi], orders[fi], req.Model))

@@ -361,7 +361,15 @@ func Run(mod *ir.Module, l *layout.Layout, inputs []interp.Input, cfg Config, op
 		if err := r.Err(); err != nil {
 			return Stats{}, interp.Result{}, fmt.Errorf("pipe: self-check before run: %w", err)
 		}
-		if opts.Profile == nil {
+		// A caller-seeded profile must at least match the module's shape
+		// before the interpreter accumulates into it; conservation of the
+		// total is audited after the run (the seed may be a legitimate
+		// prior run being extended).
+		if opts.Profile != nil {
+			if err := opts.Profile.CheckShape(mod); err != nil {
+				return Stats{}, interp.Result{}, fmt.Errorf("pipe: self-check before run: %w", err)
+			}
+		} else {
 			opts.Profile = interp.NewProfile(mod)
 		}
 	}
@@ -375,13 +383,32 @@ func Run(mod *ir.Module, l *layout.Layout, inputs []interp.Input, cfg Config, op
 		return Stats{}, res, err
 	}
 	if cfg.SelfCheck {
-		if err := check.Flow(mod, opts.Profile).Err(); err != nil {
+		if err := ValidateProfile(mod, opts.Profile); err != nil {
 			sp.End(obs.Bool("failed", true))
 			return Stats{}, res, fmt.Errorf("pipe: self-check after run: %w", err)
 		}
 	}
 	endSim(sp, sim.Stats())
 	return sim.Stats(), res, nil
+}
+
+// ValidateProfile audits a profile that did not come from this process's
+// own instrumented run — one read from disk, or estimated statically by
+// internal/staticprof — against mod: dimensional shape first, then exact
+// flow conservation (check.Flow). Estimated profiles must meet the same
+// bar as measured ones; the estimator guarantees conservation by
+// construction, so a violation here is an estimator or transport bug.
+func ValidateProfile(mod *ir.Module, prof *interp.Profile) error {
+	if prof == nil {
+		return fmt.Errorf("pipe: validating profile: profile is nil")
+	}
+	if err := prof.CheckShape(mod); err != nil {
+		return fmt.Errorf("pipe: validating profile: %w", err)
+	}
+	if err := check.Flow(mod, prof).Err(); err != nil {
+		return fmt.Errorf("pipe: validating profile: %w", err)
+	}
+	return nil
 }
 
 // Trace is a recorded edge trace, replayable under different layouts so

@@ -1,0 +1,64 @@
+package pipe
+
+import (
+	"strings"
+	"testing"
+
+	"branchalign/internal/bench"
+	"branchalign/internal/interp"
+	"branchalign/internal/layout"
+	"branchalign/internal/machine"
+	"branchalign/internal/staticprof"
+)
+
+// TestValidateProfileEstimated: every benchmark's statically estimated
+// profile must pass the same audit a measured profile does — the
+// estimator promises flow conservation by construction.
+func TestValidateProfileEstimated(t *testing.T) {
+	for _, b := range bench.All() {
+		mod, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		est, _ := staticprof.Estimate(mod)
+		if err := ValidateProfile(mod, est); err != nil {
+			t.Errorf("%s: estimated profile rejected: %v", b.Name, err)
+		}
+	}
+}
+
+func TestValidateProfileRejects(t *testing.T) {
+	mod, prof, _ := setup(t)
+
+	if err := ValidateProfile(mod, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if err := ValidateProfile(mod, &interp.Profile{}); err == nil {
+		t.Error("wrong-shape profile accepted")
+	}
+	bad := interp.NewProfile(mod)
+	bad.Funcs[0].BlockCounts[0] = 17 // executions with no inbound edges
+	if err := ValidateProfile(mod, bad); err == nil {
+		t.Error("non-conserving profile accepted")
+	} else if !strings.Contains(err.Error(), "validating profile") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := ValidateProfile(mod, prof); err != nil {
+		t.Errorf("measured profile rejected: %v", err)
+	}
+}
+
+// TestRunSelfCheckRejectsWrongShapeProfile: a seeded profile whose
+// dimensions don't match the module fails before the run starts.
+func TestRunSelfCheckRejectsWrongShapeProfile(t *testing.T) {
+	mod, prof, inputs := setup(t)
+	l := layout.Identity(mod, prof, machine.Alpha21164())
+
+	cfg := DefaultConfig()
+	cfg.SelfCheck = true
+	if _, _, err := Run(mod, l, inputs, cfg, interp.Options{Profile: &interp.Profile{}}); err == nil {
+		t.Error("Run accepted a profile with the wrong shape")
+	} else if !strings.Contains(err.Error(), "self-check before run") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package staticprof
+
+import (
+	"math"
+	"testing"
+
+	"branchalign/internal/bench"
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+)
+
+// goldenAccuracy pins how well the static estimate tracks each
+// benchmark's measured profile, on two axes:
+//
+//   - hitRate: the fraction of dynamically executed multi-way transfers
+//     whose statically predicted hottest successor matches the measured
+//     hottest successor (weighted by measured execution count).
+//   - corr: Pearson correlation between estimated and measured edge
+//     frequencies, each edge weighted as a fraction of its function's
+//     measured flow (so hot functions dominate but scale cancels).
+//
+// The values are measurements, not aspirations: they document the
+// estimator's current quality and catch silent regressions (or silent
+// improvements worth re-pinning). Tolerance absorbs nothing — the
+// estimator and interpreter are both deterministic — but the assertions
+// are one-sided with slack so a future heuristic tweak that trades a
+// point here for two points there doesn't need a golden churn.
+var goldenAccuracy = map[string]struct{ hitRate, corr float64 }{
+	"com.txt": {0.87, 0.82},
+	"com.mov": {0.76, 0.84},
+	"dod.re":  {0.83, 0.87},
+	"dod.sm":  {0.84, 0.88},
+	"eqn.fx":  {0.79, 0.30},
+	"eqn.ip":  {0.78, 0.25},
+	"esp.ti":  {0.81, 0.70},
+	"esp.tl":  {0.98, 0.60},
+	"su2.re":  {0.61, 0.92},
+	"su2.sh":  {0.60, 0.92},
+	"xli.q7":  {0.50, 0.96},
+	"xli.ne":  {0.49, 0.97},
+}
+
+const goldenSlack = 0.03
+
+// TestGoldenEstimateAccuracy compares the static estimate against the
+// measured profile of every benchmark/data-set pair and checks both
+// accuracy metrics against their pinned floors.
+func TestGoldenEstimateAccuracy(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range bench.All() {
+		mod, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		est, _ := Estimate(mod)
+		for i := range b.DataSets {
+			ds := &b.DataSets[i]
+			prof := interp.NewProfile(mod)
+			if _, err := interp.Run(mod, ds.Make(), interp.Options{Profile: prof, MaxSteps: 1 << 31}); err != nil {
+				t.Fatalf("%s.%s: %v", b.Abbr, ds.Name, err)
+			}
+			key := b.Abbr + "." + ds.Name
+			seen[key] = true
+			want, ok := goldenAccuracy[key]
+			if !ok {
+				t.Errorf("%s: no golden entry (add one)", key)
+				continue
+			}
+			hit := directionHitRate(mod, est, prof)
+			corr := weightedEdgeCorrelation(mod, est, prof)
+			t.Logf("%s: direction hit rate %.3f (floor %.2f), edge correlation %.3f (floor %.2f)",
+				key, hit, want.hitRate-goldenSlack, corr, want.corr-goldenSlack)
+			if hit < want.hitRate-goldenSlack {
+				t.Errorf("%s: direction hit rate %.3f below pinned %.2f-%.2f", key, hit, want.hitRate, goldenSlack)
+			}
+			if corr < want.corr-goldenSlack {
+				t.Errorf("%s: edge correlation %.3f below pinned %.2f-%.2f", key, corr, want.corr, goldenSlack)
+			}
+		}
+	}
+	for key := range goldenAccuracy {
+		if !seen[key] {
+			t.Errorf("golden entry %s matches no benchmark/data set", key)
+		}
+	}
+}
+
+// directionHitRate computes the measured-flow-weighted fraction of
+// multi-successor transfers whose estimated hottest successor is the
+// measured hottest successor. Blocks the measured run never reached
+// don't count either way.
+func directionHitRate(mod *ir.Module, est, prof *interp.Profile) float64 {
+	var hit, total int64
+	for fi, f := range mod.Funcs {
+		for bi, blk := range f.Blocks {
+			if len(blk.Term.Succs) < 2 {
+				continue
+			}
+			measured := prof.Funcs[fi].EdgeCounts[bi]
+			var sum int64
+			mBest := 0
+			for si, c := range measured {
+				sum += c
+				if c > measured[mBest] {
+					mBest = si
+				}
+			}
+			if sum == 0 {
+				continue
+			}
+			estimated := est.Funcs[fi].EdgeCounts[bi]
+			eBest := 0
+			for si, c := range estimated {
+				if c > estimated[eBest] {
+					eBest = si
+				}
+			}
+			total += sum
+			if eBest == mBest {
+				hit += sum
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// weightedEdgeCorrelation computes the Pearson correlation between
+// estimated and measured edge frequencies. Each function's edges are
+// normalized by that function's totals first (intraprocedural layout
+// only sees within-function ratios), and each edge is weighted by its
+// share of the function's measured flow.
+func weightedEdgeCorrelation(mod *ir.Module, est, prof *interp.Profile) float64 {
+	type point struct{ w, x, y float64 }
+	var pts []point
+	for fi, f := range mod.Funcs {
+		var mTot, eTot int64
+		for bi := range f.Blocks {
+			for si := range prof.Funcs[fi].EdgeCounts[bi] {
+				mTot += prof.Funcs[fi].EdgeCounts[bi][si]
+				eTot += est.Funcs[fi].EdgeCounts[bi][si]
+			}
+		}
+		if mTot == 0 || eTot == 0 {
+			continue
+		}
+		for bi := range f.Blocks {
+			for si := range prof.Funcs[fi].EdgeCounts[bi] {
+				m := float64(prof.Funcs[fi].EdgeCounts[bi][si]) / float64(mTot)
+				e := float64(est.Funcs[fi].EdgeCounts[bi][si]) / float64(eTot)
+				pts = append(pts, point{w: m, x: e, y: m})
+			}
+		}
+	}
+	var sw, sx, sy float64
+	for _, p := range pts {
+		sw += p.w
+		sx += p.w * p.x
+		sy += p.w * p.y
+	}
+	if sw == 0 {
+		return 0
+	}
+	mx, my := sx/sw, sy/sw
+	var cxy, cxx, cyy float64
+	for _, p := range pts {
+		cxy += p.w * (p.x - mx) * (p.y - my)
+		cxx += p.w * (p.x - mx) * (p.x - mx)
+		cyy += p.w * (p.y - my) * (p.y - my)
+	}
+	if cxx == 0 || cyy == 0 {
+		return 0
+	}
+	return cxy / math.Sqrt(cxx*cyy)
+}

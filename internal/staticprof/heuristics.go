@@ -1,0 +1,298 @@
+package staticprof
+
+import (
+	"branchalign/internal/cfganal"
+	"branchalign/internal/ir"
+)
+
+// Ball–Larus heuristic hit rates (PPoPP'93 Table 2, rounded): each is the
+// empirical probability that the predicted successor of a two-way branch
+// is the one taken, given the heuristic applies. Independent applicable
+// heuristics are fused by Dempster–Shafer evidence combination (Wu &
+// Larus, MICRO'94), then clamped so no branch is ever statically certain.
+const (
+	probLoopBack   = 0.88 // back edge taken (loop iterates)
+	probLoopExit   = 0.80 // loop-exit edge not taken
+	probLoopHeader = 0.75 // edge into a (different) loop header taken
+	probOpcode     = 0.84 // x<0, x<=0, x==c comparisons fail
+	probBounds     = 0.78 // x>c, x>=c for positive c (bounds/overflow guards) fail
+	probCall       = 0.78 // successor block containing a call not taken
+	probReturn     = 0.72 // successor block returning not taken
+	probStore      = 0.55 // successor block storing not taken
+	probGuard      = 0.62 // pointer/array-index guard: loads proceed
+
+	// probMin/probMax clamp every combined branch probability: even a
+	// unanimously predicted branch keeps 2% mass on the cold side, which
+	// keeps the flow fixpoint finite and mirrors the paper's observation
+	// that alignment degrades gracefully under imperfect profiles.
+	probMin = 0.02
+	probMax = 0.98
+)
+
+// dempsterShafer fuses two independent probability estimates for the same
+// binary event: the result reinforces agreement and attenuates conflict.
+func dempsterShafer(p, q float64) float64 {
+	return p * q / (p*q + (1-p)*(1-q))
+}
+
+func clampProb(p float64) float64 {
+	if p < probMin {
+		return probMin
+	}
+	if p > probMax {
+		return probMax
+	}
+	return p
+}
+
+// branchProbs assigns every block of f a probability distribution over
+// its successors. Unconditional branches get [1]; returns get []; switch
+// successors split uniformly (no Ball–Larus analogue exists for multiway
+// branches, and the bundled benchmarks drive switches data-dependently);
+// conditional branches run the heuristic battery below.
+func branchProbs(f *ir.Func, nest *cfganal.LoopNest) [][]float64 {
+	probs := make([][]float64, len(f.Blocks))
+	for b, blk := range f.Blocks {
+		switch blk.Term.Kind {
+		case ir.TermRet:
+			probs[b] = nil
+		case ir.TermBr:
+			probs[b] = []float64{1}
+		case ir.TermSwitch:
+			n := len(blk.Term.Succs)
+			row := make([]float64, n)
+			if blk.Term.Cond.IsConst {
+				// Constant scrutinee: the branch always goes one way.
+				hit := n - 1 // default target
+				for ci, cv := range blk.Term.Cases {
+					if cv == blk.Term.Cond.Const {
+						hit = ci
+						break
+					}
+				}
+				row[hit] = 1
+			} else {
+				for i := range row {
+					row[i] = 1 / float64(n)
+				}
+			}
+			probs[b] = row
+		case ir.TermCondBr:
+			if blk.Term.Cond.IsConst {
+				// Constant condition (e.g. while(1)): the untaken edge is
+				// statically impossible, which is what lets the doomed-block
+				// analysis prove a loop infinite.
+				if blk.Term.Cond.Const != 0 {
+					probs[b] = []float64{1, 0}
+				} else {
+					probs[b] = []float64{0, 1}
+				}
+				continue
+			}
+			p := condProb(f, nest, b)
+			probs[b] = []float64{p, 1 - p}
+		}
+	}
+	return probs
+}
+
+// condProb estimates the probability that block b's conditional branch
+// takes its then-successor (Succs[0]).
+func condProb(f *ir.Func, nest *cfganal.LoopNest, b int) float64 {
+	t := f.Blocks[b].Term
+	then, els := t.Succs[0], t.Succs[1]
+	p := 0.5
+
+	apply := func(thenProb float64) {
+		p = dempsterShafer(p, thenProb)
+	}
+
+	// Loop-back: a back edge (or irreducible retreating edge — same
+	// dynamic shape) is predicted taken. When both directions loop back
+	// the evidence cancels, which the symmetric application handles.
+	thenBack := nest.Retreating(b, then)
+	elsBack := nest.Retreating(b, els)
+	if thenBack {
+		apply(probLoopBack)
+	}
+	if elsBack {
+		apply(1 - probLoopBack)
+	}
+
+	// Loop-exit: a branch inside a loop avoids leaving it. Only applies
+	// to the non-latch direction (the loop-back heuristic already voted
+	// for latches).
+	if li := nest.LoopOf[b]; li >= 0 {
+		loop := nest.Loops[li]
+		thenExits := !loop.Contains(then)
+		elsExits := !loop.Contains(els)
+		if thenExits && !elsExits {
+			apply(1 - probLoopExit)
+		}
+		if elsExits && !thenExits {
+			apply(probLoopExit)
+		}
+	}
+
+	// Loop-header: an edge entering a loop (header of a loop not
+	// containing b) is predicted taken.
+	if !thenBack && !elsBack {
+		thenHdr := headerOfOtherLoop(nest, b, then)
+		elsHdr := headerOfOtherLoop(nest, b, els)
+		if thenHdr && !elsHdr {
+			apply(probLoopHeader)
+		}
+		if elsHdr && !thenHdr {
+			apply(1 - probLoopHeader)
+		}
+	}
+
+	// Opcode (Ball–Larus OH): equality against a constant and order
+	// comparisons against zero or a negative constant fail more often
+	// than they succeed (error checks, sign tests, sentinel probes).
+	// Of the order comparisons against a *positive* constant, only
+	// x>c / x>=c carry a signal: they are overwhelmingly bounds and
+	// overflow guards that fail in the steady state. Their negations
+	// x<c / x<=c mix loop conditions with data-dependent class tests
+	// (e.g. eqntott's leaf-vs-operator dispatch) and get no vote.
+	if op, c, ok := condOpcode(f, b); ok {
+		switch {
+		case op == ir.OpEq:
+			apply(1 - probOpcode)
+		case op == ir.OpNe:
+			apply(probOpcode)
+		case (op == ir.OpLt || op == ir.OpLe) && c <= 0:
+			apply(1 - probOpcode)
+		case (op == ir.OpGt || op == ir.OpGe) && c <= 0:
+			apply(probOpcode)
+		case op == ir.OpGt || op == ir.OpGe: // c > 0: guard shape
+			apply(1 - probBounds)
+		}
+	}
+
+	// Successor-shape heuristics: calls, returns and stores in a
+	// successor block make that direction colder. Applied only when the
+	// evidence is asymmetric.
+	applyShape := func(thenHas, elsHas bool, prob float64) {
+		if thenHas && !elsHas {
+			apply(1 - prob)
+		}
+		if elsHas && !thenHas {
+			apply(prob)
+		}
+	}
+	applyShape(blockCalls(f.Blocks[then]), blockCalls(f.Blocks[els]), probCall)
+	applyShape(f.Blocks[then].Term.Kind == ir.TermRet, f.Blocks[els].Term.Kind == ir.TermRet, probReturn)
+	applyShape(blockStores(f.Blocks[then]), blockStores(f.Blocks[els]), probStore)
+	applyShape(blockLoads(f.Blocks[then]), blockLoads(f.Blocks[els]), 1-probGuard)
+
+	return clampProb(p)
+}
+
+// headerOfOtherLoop reports whether succ is the header of a loop that
+// does not contain b (i.e. the edge b -> succ enters a fresh loop).
+func headerOfOtherLoop(nest *cfganal.LoopNest, b, succ int) bool {
+	for _, l := range nest.Loops {
+		if l.Header == succ && !l.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// condOpcode returns the comparison operator and constant right operand
+// defining block b's branch condition, when the condition register is
+// produced by a comparison in b itself against a (locally resolvable)
+// constant — the "compare against a constant" shape the opcode heuristic
+// was measured on. The Mini-C lowering emits the comparison immediately
+// before the branch, so a backward scan of the block suffices.
+func condOpcode(f *ir.Func, b int) (ir.Op, int64, bool) {
+	t := f.Blocks[b].Term
+	if t.Cond.IsConst {
+		return 0, 0, false
+	}
+	instrs := f.Blocks[b].Instrs
+	for i := len(instrs) - 1; i >= 0; i-- {
+		in := instrs[i]
+		if in.Kind != ir.InstrBin || in.Dst != t.Cond.Reg {
+			if writesReg(in, t.Cond.Reg) {
+				return 0, 0, false // condition defined by a non-comparison
+			}
+			continue
+		}
+		switch in.Op {
+		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			if c, ok := resolveConst(instrs, i, in.B, 4); ok {
+				return in.Op, c, ok
+			}
+		}
+		return 0, 0, false
+	}
+	return 0, 0, false
+}
+
+// resolveConst evaluates v to a constant using only the instructions of
+// the same block before position upTo: immediate constants, constant
+// moves, and unary negation of a constant (the lowering's shape for
+// negative literals, e.g. `r36 = neg 8000000`). depth bounds the chain.
+func resolveConst(instrs []ir.Instr, upTo int, v ir.Value, depth int) (int64, bool) {
+	if v.IsConst {
+		return v.Const, true
+	}
+	if depth == 0 {
+		return 0, false
+	}
+	for i := upTo - 1; i >= 0; i-- {
+		in := instrs[i]
+		if !writesReg(in, v.Reg) {
+			continue
+		}
+		switch in.Kind {
+		case ir.InstrConst, ir.InstrMove:
+			return resolveConst(instrs, i, in.A, depth-1)
+		case ir.InstrUn:
+			if in.Op == ir.OpNeg {
+				if c, ok := resolveConst(instrs, i, in.A, depth-1); ok {
+					return -c, true
+				}
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func writesReg(in ir.Instr, r ir.Reg) bool {
+	switch in.Kind {
+	case ir.InstrConst, ir.InstrMove, ir.InstrBin, ir.InstrUn, ir.InstrLoad, ir.InstrGLoad, ir.InstrCall:
+		return in.Dst == r
+	}
+	return false
+}
+
+func blockCalls(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if in.Kind == ir.InstrCall {
+			return true
+		}
+	}
+	return false
+}
+
+func blockStores(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if in.Kind == ir.InstrStore || in.Kind == ir.InstrGStore {
+			return true
+		}
+	}
+	return false
+}
+
+func blockLoads(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if in.Kind == ir.InstrLoad || in.Kind == ir.InstrGLoad {
+			return true
+		}
+	}
+	return false
+}

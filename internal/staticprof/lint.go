@@ -1,0 +1,70 @@
+package staticprof
+
+import (
+	"branchalign/internal/check"
+	"branchalign/internal/ir"
+)
+
+// coldDeepRatio is the fraction of the entry frequency below which a
+// block nested ≥ coldDeepDepth loops deep is flagged: code that deep is
+// normally the hottest in its function, so a statically near-dead deep
+// block usually means an over-guarded or vestigial inner loop.
+const (
+	coldDeepRatio = 0.05
+	coldDeepDepth = 2
+)
+
+// Lint runs the static-profile structural lints over mod: unreachable
+// blocks, irreducible loops, statically-infinite loops, and cold-but-deep
+// regions. All findings are warnings — each one is legal IR, but each
+// also degrades the estimator (and usually signals a source-level bug),
+// so `balign vet` surfaces them next to the invariant checks.
+func Lint(mod *ir.Module) *check.Report {
+	r := &check.Report{}
+	for _, f := range mod.Funcs {
+		lintFunc(r, f)
+	}
+	return r
+}
+
+func lintFunc(r *check.Report, f *ir.Func) {
+	ff := analyzeFunc(f)
+	nest := ff.nest
+
+	for b := range f.Blocks {
+		if nest.RPONum[b] < 0 {
+			r.Add(check.Warning, check.ClassUnreachable, f.Name, b,
+				"no path from the entry reaches this block; the estimator assigns it zero flow")
+		}
+	}
+
+	for _, e := range nest.IrreducibleEdges {
+		r.Add(check.Warning, check.ClassIrreducible, f.Name, e.To,
+			"retreating edge b%d -> b%d enters a cycle that is not a natural loop; frequency propagation only approximates multi-entry regions", e.From, e.To)
+	}
+
+	// A loop none of whose blocks can reach a return is statically
+	// infinite: once entered it never exits. Report each such loop at its
+	// header (outermost doomed loop only; inner loops of a doomed region
+	// add nothing).
+	for _, l := range nest.Loops {
+		if !ff.doomed[l.Header] {
+			continue
+		}
+		if p := l.Parent; p >= 0 && ff.doomed[nest.Loops[p].Header] {
+			continue
+		}
+		r.Add(check.Warning, check.ClassInfiniteLoop, f.Name, l.Header,
+			"loop at b%d can never reach a return: statically infinite (%d exit edges all dead)", l.Header, len(l.ExitEdges))
+	}
+
+	for b := range f.Blocks {
+		if nest.Depth[b] < coldDeepDepth || ff.doomed[b] || ff.relFreq[0] <= 0 {
+			continue
+		}
+		if ff.relFreq[b] < coldDeepRatio*ff.relFreq[0] {
+			r.Add(check.Warning, check.ClassColdDeep, f.Name, b,
+				"block sits %d loops deep yet the estimator gives it %.4fx the entry frequency; deep code this cold is usually over-guarded or vestigial", nest.Depth[b], ff.relFreq[b]/ff.relFreq[0])
+		}
+	}
+}

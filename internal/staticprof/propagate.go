@@ -1,0 +1,386 @@
+package staticprof
+
+import (
+	"branchalign/internal/cfganal"
+	"branchalign/internal/ir"
+)
+
+const (
+	// cpMax clamps a loop's cyclic probability, bounding the header
+	// frequency multiplier 1/(1-cp) at maxTrip iterations per entry —
+	// Wu–Larus's guard against multi-latch loops whose combined back-edge
+	// probability approaches 1.
+	maxTrip = 64
+	cpMax   = 1 - 1.0/maxTrip
+
+	// irreduciblePasses caps the Gauss–Seidel refinement that cleans up
+	// after irreducible regions the structured propagation cannot model.
+	irreduciblePasses = 256
+	// integerPasses caps the exact integer fixpoint. The iteration is
+	// monotone from below (apportion is monotone in its input for the
+	// 2-way and uniform splits the IR produces), so it terminates, but
+	// the horizon scales with the loop multiplier times the flow's digit
+	// count: a do-while at the probMax clamp retains 98% per pass, and
+	// filling it with ~1e12 units takes ~5e4 passes (eqntott's qsort,
+	// measured). Passes are O(blocks) and stop at convergence, so the
+	// generous cap costs nothing on the happy path.
+	integerPasses = 1 << 20
+)
+
+// funcFlow is the per-function analysis state threaded through the
+// estimation phases.
+type funcFlow struct {
+	f    *ir.Func
+	nest *cfganal.LoopNest
+	// probs[b][si] is the successor distribution after heuristics and
+	// doomed-successor renormalization; rows sum to 1 (or are empty).
+	probs [][]float64
+	// doomed marks blocks from which no return is reachable: any flow
+	// entering them would never exit, so the estimator routes around them.
+	doomed []bool
+	// relFreq[b] is the expected executions of b per invocation.
+	relFreq []float64
+	// cyc[li] is the cyclic probability of nest.Loops[li], clamped.
+	cyc []float64
+	// converged records whether the integer fixpoint settled; a false
+	// value means the function was demoted to an all-zero profile.
+	converged bool
+}
+
+// analyzeFunc runs loop analysis, heuristics, doomed-block routing and
+// real-valued frequency propagation for one function.
+func analyzeFunc(f *ir.Func) *funcFlow {
+	ff := &funcFlow{f: f, nest: cfganal.AnalyzeLoops(f)}
+	ff.probs = branchProbs(f, ff.nest)
+	ff.computeDoomed()
+	ff.renormalize()
+	ff.propagateReal()
+	return ff
+}
+
+// computeDoomed marks blocks that cannot reach any return: reverse
+// reachability from the return blocks, over *possible* edges only — a
+// constant branch condition prunes its untaken edge, which is how a
+// while(1) body is proven flow-dead even though its exit block exists in
+// the CFG. Unreachable blocks are also marked (zero flow either way).
+func (ff *funcFlow) computeDoomed() {
+	n := len(ff.f.Blocks)
+	canRet := make([]bool, n)
+	preds := make([][]int, n)
+	for b, blk := range ff.f.Blocks {
+		for si, s := range blk.Term.Succs {
+			if ff.probs[b][si] > 0 {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+	var stack []int
+	for b, blk := range ff.f.Blocks {
+		if blk.Term.Kind == ir.TermRet {
+			canRet[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[b] {
+			if !canRet[p] {
+				canRet[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	ff.doomed = make([]bool, n)
+	for b := range ff.doomed {
+		ff.doomed[b] = !canRet[b] || ff.nest.RPONum[b] < 0
+	}
+}
+
+// renormalize zeroes the probability of edges into doomed blocks and
+// rescales each row to sum to 1 again, so the propagated flow satisfies
+// Kirchhoff's law on the live subgraph by construction. A non-doomed
+// block always keeps at least one non-doomed successor (otherwise it
+// could not reach a return and would be doomed itself).
+func (ff *funcFlow) renormalize() {
+	for b, blk := range ff.f.Blocks {
+		if ff.doomed[b] || len(ff.probs[b]) == 0 {
+			continue
+		}
+		sum := 0.0
+		for si, s := range blk.Term.Succs {
+			if ff.doomed[s] {
+				ff.probs[b][si] = 0
+			}
+			sum += ff.probs[b][si]
+		}
+		if sum <= 0 {
+			continue // defensive; cannot happen for non-doomed blocks
+		}
+		for si := range ff.probs[b] {
+			ff.probs[b][si] /= sum
+		}
+	}
+}
+
+// propagateReal computes per-invocation block frequencies: Wu–Larus
+// propagation in loop-nest order (cyclic probability per merged loop,
+// inner first, header multiplier 1/(1-cp)), followed by capped
+// Gauss–Seidel refinement when irreducible retreating edges remain.
+func (ff *funcFlow) propagateReal() {
+	nest := ff.nest
+	ff.cyc = make([]float64, len(nest.Loops))
+	// Cyclic probabilities inner-first: inject 1 at the header, propagate
+	// through the loop body only, and sum the flow returning along the
+	// loop's own back edges. Inner loops are already summarized by their
+	// multiplier.
+	for li, l := range nest.Loops {
+		flow := ff.flowPass(l.Header, 1, func(b int) bool { return l.Contains(b) }, li)
+		cp := 0.0
+		for _, e := range l.BackEdges {
+			cp += flow[e.From] * ff.probs[e.From][e.SuccIdx]
+		}
+		if cp > cpMax {
+			cp = cpMax
+		}
+		ff.cyc[li] = cp
+	}
+	ff.relFreq = ff.flowPass(0, 1, func(b int) bool { return true }, -1)
+	if nest.Irreducible() {
+		ff.refineIrreducible()
+	}
+}
+
+// flowPass propagates flow from src (injecting amount) through the blocks
+// accepted by in, in reverse postorder, skipping retreating edges. A
+// block that heads a loop other than skipLoop has its incoming flow
+// amplified by that loop's 1/(1-cp) multiplier. Returns per-block flow.
+func (ff *funcFlow) flowPass(src int, amount float64, in func(int) bool, skipLoop int) []float64 {
+	nest := ff.nest
+	flow := make([]float64, len(ff.f.Blocks))
+	inflow := make([]float64, len(ff.f.Blocks))
+	inflow[src] = amount
+	for _, b := range nest.Dom.ReversePostorder() {
+		if !in(b) || ff.doomed[b] {
+			continue
+		}
+		fb := inflow[b]
+		if li := loopHeadedBy(nest, b); li >= 0 && li != skipLoop && li < len(ff.cyc) {
+			fb /= 1 - ff.cyc[li]
+		}
+		flow[b] = fb
+		for si, s := range ff.f.Blocks[b].Term.Succs {
+			if nest.Retreating(b, s) || !in(s) || ff.doomed[s] {
+				continue
+			}
+			inflow[s] += fb * ff.probs[b][si]
+		}
+	}
+	return flow
+}
+
+// loopHeadedBy returns the index of the loop whose header is b, or -1
+// (merged loops have unique headers).
+func loopHeadedBy(nest *cfganal.LoopNest, b int) int {
+	for li, l := range nest.Loops {
+		if l.Header == b {
+			return li
+		}
+	}
+	return -1
+}
+
+// refineIrreducible iterates the true flow equations — every edge,
+// retreating ones included, at its face-value probability — from the
+// structured solution until the retreating flows settle or the pass cap
+// hits. With doomed blocks routed around, every remaining cycle leaks
+// probability ≥ 1-probMax per iteration, so the iteration contracts.
+func (ff *funcFlow) refineIrreducible() {
+	nest := ff.nest
+	n := len(ff.f.Blocks)
+	// Retreating-edge flows carried between passes, seeded from the
+	// structured solution.
+	carry := map[cfganal.Edge]float64{}
+	for b := range ff.f.Blocks {
+		if ff.doomed[b] {
+			continue
+		}
+		for si, s := range ff.f.Blocks[b].Term.Succs {
+			if nest.Retreating(b, s) && !ff.doomed[s] {
+				carry[cfganal.Edge{From: b, SuccIdx: si, To: s}] = ff.relFreq[b] * ff.probs[b][si]
+			}
+		}
+	}
+	edges := make([]cfganal.Edge, 0, len(carry))
+	for b := range ff.f.Blocks {
+		for si, s := range ff.f.Blocks[b].Term.Succs {
+			e := cfganal.Edge{From: b, SuccIdx: si, To: s}
+			if _, ok := carry[e]; ok {
+				edges = append(edges, e)
+			}
+		}
+	}
+	flow := make([]float64, n)
+	for pass := 0; pass < irreduciblePasses; pass++ {
+		inflow := make([]float64, n)
+		inflow[0] = 1
+		for _, e := range edges {
+			inflow[e.To] += carry[e]
+		}
+		for _, b := range nest.Dom.ReversePostorder() {
+			if ff.doomed[b] {
+				continue
+			}
+			flow[b] = inflow[b]
+			for si, s := range ff.f.Blocks[b].Term.Succs {
+				if nest.Retreating(b, s) || ff.doomed[s] {
+					continue
+				}
+				inflow[s] += flow[b] * ff.probs[b][si]
+			}
+		}
+		maxDelta := 0.0
+		for _, e := range edges {
+			next := flow[e.From] * ff.probs[e.From][e.SuccIdx]
+			if d := abs(next - carry[e]); d > maxDelta {
+				maxDelta = d
+			}
+			carry[e] = next
+		}
+		if maxDelta < 1e-12 {
+			break
+		}
+	}
+	ff.relFreq = flow
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// emitInteger computes an exact-integer flow assignment carrying entries
+// units of flow from the entry to the returns. It iterates the flow
+// equations with retreating-edge flows carried across passes; a pass that
+// changes no retreating flow is an exact fixpoint, at which point every
+// block satisfies Kirchhoff's law to the last unit (check.Flow passes by
+// construction). Returns (blockCounts, edgeCounts, converged); on
+// non-convergence — possible only through apportionment oscillation, not
+// observed in practice — the caller demotes the function to all-zero.
+func (ff *funcFlow) emitInteger(entries int64) ([]int64, [][]int64, bool) {
+	f, nest := ff.f, ff.nest
+	n := len(f.Blocks)
+	counts := make([]int64, n)
+	flows := make([][]int64, n)
+	for b, blk := range f.Blocks {
+		flows[b] = make([]int64, len(blk.Term.Succs))
+	}
+	if entries <= 0 || ff.doomed[0] {
+		return counts, flows, true
+	}
+
+	type redge struct{ from, si int }
+	var retreats []redge
+	for b, blk := range f.Blocks {
+		if ff.doomed[b] {
+			continue
+		}
+		for si, s := range blk.Term.Succs {
+			if nest.Retreating(b, s) && !ff.doomed[s] {
+				retreats = append(retreats, redge{b, si})
+			}
+		}
+	}
+	carry := make([]int64, len(retreats))
+
+	rpo := nest.Dom.ReversePostorder()
+	for pass := 0; pass < integerPasses; pass++ {
+		inflow := make([]int64, n)
+		inflow[0] = entries
+		for ri, re := range retreats {
+			inflow[f.Blocks[re.from].Term.Succs[re.si]] += carry[ri]
+		}
+		for _, b := range rpo {
+			if ff.doomed[b] {
+				continue
+			}
+			counts[b] = inflow[b]
+			apportion(counts[b], ff.probs[b], flows[b])
+			for si, s := range f.Blocks[b].Term.Succs {
+				if nest.Retreating(b, s) || ff.doomed[s] {
+					continue
+				}
+				inflow[s] += flows[b][si]
+			}
+		}
+		changed := false
+		for ri, re := range retreats {
+			next := flows[re.from][re.si]
+			if next != carry[ri] {
+				carry[ri] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return counts, flows, true
+		}
+	}
+	return counts, flows, false
+}
+
+// apportion splits n units across the successor distribution probs into
+// out, exactly: Σ out = n, out[i] ≥ 0, zero-probability successors get
+// exactly zero. Largest-remainder method, ties to the lower index, so the
+// split is deterministic and as proportional as integers allow.
+func apportion(n int64, probs []float64, out []int64) {
+	for i := range out {
+		out[i] = 0
+	}
+	if n <= 0 || len(probs) == 0 {
+		return
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var sum int64
+	rems := make([]rem, 0, len(probs))
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		q := float64(n) * p
+		base := int64(q)
+		if base > n {
+			base = n
+		}
+		out[i] = base
+		sum += base
+		rems = append(rems, rem{i, q - float64(base)})
+	}
+	if len(rems) == 0 {
+		out[0] = n // defensive: all-zero distribution on a live block
+		return
+	}
+	// Distribute the remainder by descending fractional part, ties to the
+	// lower index; wrap around defensively if float error left more slack
+	// than successors.
+	for si := 1; si < len(rems); si++ {
+		for sj := si; sj > 0 && (rems[sj].frac > rems[sj-1].frac+1e-15); sj-- {
+			rems[sj], rems[sj-1] = rems[sj-1], rems[sj]
+		}
+	}
+	for k := 0; sum < n; k++ {
+		out[rems[k%len(rems)].idx]++
+		sum++
+	}
+	for k := 0; sum > n; k++ {
+		i := rems[len(rems)-1-k%len(rems)].idx
+		if out[i] > 0 {
+			out[i]--
+			sum--
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package staticprof estimates an execution profile for a module from
+// CFG structure alone — no training input, no interpreter run. It is the
+// profile-free fallback for branch alignment: Ball–Larus branch
+// heuristics fused by Wu–Larus evidence combination give per-branch taken
+// probabilities, frequencies propagate through the loop nest (cyclic
+// probabilities inner-first, capped iteration over irreducible
+// leftovers), and an exact integer fixpoint emits an interp.Profile that
+// satisfies check.Flow's Kirchhoff invariants by construction — the rest
+// of the pipeline cannot tell it from a measured profile except by
+// asking.
+//
+// The companion Lint pass reports the structural pathologies the
+// estimator routes around (unreachable blocks, irreducible loops,
+// statically-infinite loops) plus deep-but-cold regions, through the
+// shared check.Report machinery.
+package staticprof
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+)
+
+const (
+	// scaleTarget is the flow the estimator tries to carry through the
+	// hottest block: large enough that apportionment rounding is noise,
+	// small enough that int64 arithmetic has ~6 decimal digits of
+	// headroom over the deepest loop amplification.
+	scaleTarget = 1e12
+	// scaleMax caps per-invocation scaling so shallow modules still get
+	// plausible absolute counts rather than astronomically hot entries.
+	scaleMax = 1 << 20
+	// invocationCap bounds the interprocedural invocation estimate, the
+	// capped-iteration stand-in for unbounded recursion.
+	invocationCap = 1e9
+	// invocationPasses caps the call-graph fixpoint (handles recursion
+	// cycles; acyclic call graphs settle in ≤ #funcs passes).
+	invocationPasses = 64
+)
+
+// Info exposes the estimator's intermediate analysis for diagnostics,
+// linting and tests.
+type Info struct {
+	// Funcs holds per-function analysis state, parallel to mod.Funcs.
+	Funcs []*FuncInfo
+	// Invocations is the real-valued interprocedural invocation estimate
+	// per function (entry function ≥ 1).
+	Invocations []float64
+	// Scale is the integer flow injected per estimated invocation unit.
+	Scale int64
+}
+
+// FuncInfo is the per-function slice of Info.
+type FuncInfo struct {
+	// Probs[b][si] is the estimated probability that block b transfers
+	// control to its si-th successor (rows sum to 1; empty for returns).
+	Probs [][]float64
+	// RelFreq[b] is the expected executions of block b per invocation.
+	RelFreq []float64
+	// Doomed marks blocks from which no return is reachable (including
+	// unreachable blocks); the estimator assigns them zero flow.
+	Doomed []bool
+	// Irreducible reports retreating edges that are not natural-loop back
+	// edges (multi-entry cycles).
+	Irreducible bool
+	// Converged is false when the integer fixpoint was demoted to an
+	// all-zero function profile.
+	Converged bool
+}
+
+// Estimate synthesizes a profile for mod from static analysis only. The
+// result always satisfies check.Flow exactly; Info reports what the
+// estimator believed along the way.
+func Estimate(mod *ir.Module) (*interp.Profile, *Info) {
+	nf := len(mod.Funcs)
+	flows := make([]*funcFlow, nf)
+	for fi, f := range mod.Funcs {
+		flows[fi] = analyzeFunc(f)
+	}
+
+	inv := invocations(mod, flows)
+
+	// Scale so the hottest estimated block carries ~scaleTarget units.
+	maxFreq := 1.0
+	for fi, ff := range flows {
+		for _, rf := range ff.relFreq {
+			if v := inv[fi] * rf; v > maxFreq {
+				maxFreq = v
+			}
+		}
+	}
+	scale := int64(scaleTarget / maxFreq)
+	if scale < 1 {
+		scale = 1
+	}
+	if scale > scaleMax {
+		scale = scaleMax
+	}
+
+	prof := interp.NewProfile(mod)
+	info := &Info{Funcs: make([]*FuncInfo, nf), Invocations: inv, Scale: scale}
+	entries := make([]int64, nf)
+	for fi, ff := range flows {
+		want := int64(inv[fi]*float64(scale) + 0.5)
+		counts, edges, ok := ff.emitInteger(want)
+		ff.converged = ok
+		if !ok {
+			// Demote to the all-zero profile, which is trivially
+			// conservative; entries must then be zero too.
+			counts, edges, _ = ff.emitInteger(0)
+			want = 0
+		}
+		if ff.doomed[0] {
+			want = 0 // function can never return: estimator refuses to enter
+		}
+		prof.Funcs[fi] = &interp.FuncProfile{BlockCounts: counts, EdgeCounts: edges}
+		entries[fi] = want
+		info.Funcs[fi] = &FuncInfo{
+			Probs:       ff.probs,
+			RelFreq:     ff.relFreq,
+			Doomed:      ff.doomed,
+			Irreducible: ff.nest.Irreducible(),
+			Converged:   ok,
+		}
+	}
+
+	fillCallCounts(mod, flows, inv, entries, prof)
+	return prof, info
+}
+
+// invocations estimates how many times each function runs per top-level
+// run: calls-per-invocation rates from the real-valued block frequencies,
+// iterated over the call graph with a cap standing in for unbounded
+// recursion.
+func invocations(mod *ir.Module, flows []*funcFlow) []float64 {
+	nf := len(mod.Funcs)
+	rate := callRates(mod, flows)
+	inv := make([]float64, nf)
+	for pass := 0; pass < invocationPasses; pass++ {
+		next := make([]float64, nf)
+		next[mod.EntryFunc] = 1
+		for fi := range mod.Funcs {
+			for gi := range mod.Funcs {
+				next[gi] += inv[fi] * rate[fi][gi]
+			}
+		}
+		maxDelta := 0.0
+		for gi := range next {
+			if next[gi] > invocationCap {
+				next[gi] = invocationCap
+			}
+			if d := abs(next[gi] - inv[gi]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		inv = next
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+	return inv
+}
+
+// callRates returns rate[f][g], the expected number of calls from f to g
+// per invocation of f.
+func callRates(mod *ir.Module, flows []*funcFlow) [][]float64 {
+	rate := make([][]float64, len(mod.Funcs))
+	for fi, f := range mod.Funcs {
+		rate[fi] = make([]float64, len(mod.Funcs))
+		ff := flows[fi]
+		for b, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Kind == ir.InstrCall {
+					rate[fi][in.Callee] += ff.relFreq[b]
+				}
+			}
+		}
+	}
+	return rate
+}
+
+// fillCallCounts builds a weighted call graph consistent with the emitted
+// function profiles: for every non-entry function, the column sum must
+// equal its entry count exactly (check.Flow's call-graph identity), so
+// each function's entries are apportioned across its static callers by
+// their estimated call volume. The module entry function's entries are
+// booked as top-level runs (the identity there is an inequality).
+func fillCallCounts(mod *ir.Module, flows []*funcFlow, inv []float64, entries []int64, prof *interp.Profile) {
+	for gi := range mod.Funcs {
+		if gi == mod.EntryFunc || entries[gi] == 0 {
+			continue
+		}
+		var callers []int
+		var weights []float64
+		totalW := 0.0
+		for fi, f := range mod.Funcs {
+			w := 0.0
+			ff := flows[fi]
+			for b, blk := range f.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Kind == ir.InstrCall && in.Callee == gi {
+						w += ff.relFreq[b]
+					}
+				}
+			}
+			if w > 0 {
+				w *= inv[fi]
+				if w <= 0 {
+					w = 1e-9 // static call site in a never-run caller: keep it eligible
+				}
+				callers = append(callers, fi)
+				weights = append(weights, w)
+				totalW += w
+			}
+		}
+		if len(callers) == 0 {
+			// A function with entries but no static caller cannot satisfy
+			// the call-graph identity; refuse to claim it ran. (Unreachable
+			// in practice: invocations() only feeds flow through real call
+			// sites, so entries > 0 implies a caller.)
+			zeroFunc(prof.Funcs[gi])
+			continue
+		}
+		probs := make([]float64, len(weights))
+		for i, w := range weights {
+			probs[i] = w / totalW
+		}
+		out := make([]int64, len(callers))
+		apportion(entries[gi], probs, out)
+		for i, fi := range callers {
+			prof.CallCounts[fi][gi] = out[i]
+		}
+	}
+}
+
+func zeroFunc(fp *interp.FuncProfile) {
+	for b := range fp.BlockCounts {
+		fp.BlockCounts[b] = 0
+		for si := range fp.EdgeCounts[b] {
+			fp.EdgeCounts[b][si] = 0
+		}
+	}
+}

@@ -55,6 +55,7 @@ func (c *cancelCheck) cancelled() bool {
 		default:
 		}
 	}
+	//balignlint:ignore wall-clock deadlines are opt-in nondeterminism; reproducible runs budget by MaxKicks/MaxHKIterations
 	return !c.deadline.IsZero() && time.Now().After(c.deadline)
 }
 

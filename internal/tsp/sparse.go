@@ -285,6 +285,7 @@ func electDefault(def Cost, defCount Cost, vals []Cost) Cost {
 		counts[v]++
 	}
 	best, bestCount := def, Cost(-1)
+	//balignlint:ignore order-independent: argmax with a total tie-break (count, then value)
 	for v, cnt := range counts {
 		if cnt > bestCount || (cnt == bestCount && v < best) {
 			best, bestCount = v, cnt

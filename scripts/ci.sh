@@ -35,7 +35,12 @@ GOMAXPROCS=2 go test -race -count=2 -run 'Parallel|Determin' ./internal/tsp/ ./i
 echo "== go test -race"
 go test -race ./...
 
-echo "== balign vet -all"
+echo "== vet-static (balign vet -all + balignlint)"
+# Static gates over the repo's own artifacts: the CFG/profile invariant
+# checker across every bundled benchmark (now including the staticprof
+# lints and a flow check of the estimated profile), then the determinism
+# linter over the Go sources themselves.
 go run ./cmd/balign vet -all
+go run ./cmd/balignlint
 
 echo "ci: all gates green"
