@@ -189,6 +189,36 @@ func (t *Trace) Observe(name string, v float64) {
 	t.mu.Unlock()
 }
 
+// ObserveBatch merges a pre-bucketed power-of-two histogram into the
+// named trace histogram: counts[i] samples with value in (2^(i-1), 2^i]
+// (counts[0]: the value 1), totalling sum. Hot loops that cannot afford
+// a mutexed Observe per sample tally local buckets and flush once per
+// region — the 3-opt/Or-opt splice-length histogram flushes per
+// local-search run. Bucket counts and the mean merge exactly (the mean
+// via sum); min and max are tracked at bucket resolution, the tightest
+// bounds the pre-bucketed samples admit. An all-zero batch records
+// nothing.
+func (t *Trace) ObserveBatch(name string, counts []int64, sum float64) {
+	if t == nil {
+		return
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	t.mu.Lock()
+	h := t.hists[name]
+	if h == nil {
+		h = &histogram{buckets: map[int64]int64{}}
+		t.hists[name] = h
+	}
+	h.observeBatch(counts, sum)
+	t.mu.Unlock()
+}
+
 // Close flushes the metrics registry (counters, gauges, histograms) as
 // events — in sorted name order, so output is deterministic — and
 // closes the sink if it implements io.Closer. Close is idempotent; a
@@ -273,6 +303,15 @@ func (s *Span) Observe(name string, v float64) {
 		return
 	}
 	s.t.Observe(name, v)
+}
+
+// ObserveBatch merges pre-bucketed samples into a trace-level histogram
+// (see Trace.ObserveBatch).
+func (s *Span) ObserveBatch(name string, counts []int64, sum float64) {
+	if s == nil {
+		return
+	}
+	s.t.ObserveBatch(name, counts, sum)
 }
 
 // Series opens a named (x, y) series attached to this span, emitted as
@@ -368,6 +407,32 @@ func (h *histogram) observe(v float64) {
 	h.n++
 	h.sum += v
 	h.buckets[bucketLe(v)]++
+}
+
+// observeBatch merges pre-bucketed counts (counts[i] samples in
+// (2^(i-1), 2^i], counts[0]: the value 1) totalling sum. Min and max
+// tighten to the narrowest bounds the buckets admit: the smallest value
+// the lowest occupied bucket can hold and the upper edge of the highest.
+func (h *histogram) observeBatch(counts []int64, sum float64) {
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(1) << i
+		lo := float64(le)
+		if i > 0 {
+			lo = float64(le>>1 + 1)
+		}
+		if h.n == 0 || lo < h.min {
+			h.min = lo
+		}
+		if h.n == 0 || float64(le) > h.max {
+			h.max = float64(le)
+		}
+		h.n += c
+		h.buckets[le] += c
+	}
+	h.sum += sum
 }
 
 // bucketLe returns the histogram bucket for v: the smallest power of

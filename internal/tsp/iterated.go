@@ -26,9 +26,20 @@ func DoubleBridge(t Tour, rng *rand.Rand) Tour {
 // stream exactly as DoubleBridge does: three Intn draws, none for tours
 // shorter than 4 cities.
 func doubleBridgeInto(dst, t Tour, rng *rand.Rand) Tour {
+	dst, _ = doubleBridgeIntoCost(dst, t, rng, nil, 0)
+	return dst
+}
+
+// doubleBridgeIntoCost is doubleBridgeInto plus the kicked tour's cost,
+// derived from the cost of t by the kick's six-edge delta (the double
+// bridge removes the three cut edges and adds three reconnections; the
+// closing edge is untouched). Six At reads replace the O(n) CycleCost
+// rescan the kick loop used to pay per kick (see ThreeOpt.SetTourCost).
+// With a nil m the cost is not computed and cost is passed through.
+func doubleBridgeIntoCost(dst, t Tour, rng *rand.Rand, m Costs, cost Cost) (Tour, Cost) {
 	n := len(t)
 	if n < 4 {
-		return append(dst[:0], t...)
+		return append(dst[:0], t...), cost
 	}
 	// Pick 1 <= p1 < p2 < p3 < n.
 	p1 := 1 + rng.Intn(n-3)
@@ -38,7 +49,11 @@ func doubleBridgeInto(dst, t Tour, rng *rand.Rand) Tour {
 	dst = append(dst, t[p2:p3]...)
 	dst = append(dst, t[p1:p2]...)
 	dst = append(dst, t[p3:]...)
-	return dst
+	if m != nil {
+		cost += m.At(t[p1-1], t[p2]) + m.At(t[p3-1], t[p1]) + m.At(t[p2-1], t[p3]) -
+			m.At(t[p1-1], t[p1]) - m.At(t[p2-1], t[p2]) - m.At(t[p3-1], t[p3])
+	}
+	return dst, cost
 }
 
 // IteratedThreeOpt runs Martin-Otto-Felten iterated local search: optimize
@@ -53,8 +68,11 @@ func IteratedThreeOpt(m Costs, nb *Neighbors, start Tour, iters int, rng *rand.R
 
 // runTelemetry carries per-run iterated-local-search diagnostics.
 type runTelemetry struct {
-	kicks, kickAccepts        int64
-	movesTried, movesAccepted int64
+	kicks, kickAccepts int64
+	// stats holds the per-move-family counter deltas for this run (the
+	// optimizer accumulates across runs; iteratedThreeOpt differences
+	// snapshots taken around the run).
+	stats MoveStats
 	// iterBest is the kick iteration at which the best tour was found
 	// (0 = the initial local optimum).
 	iterBest int
@@ -100,9 +118,9 @@ func iteratedThreeOpt(m Costs, nb *Neighbors, ws *solveWorkspace, start Tour, it
 		ws.o.SetTour(start)
 	}
 	o := ws.o
-	tried0, accepted0 := o.Moves()
+	stats0 := o.MoveStats()
 	o.Optimize()
-	ws.cur = append(ws.cur[:0], o.t...)
+	ws.cur = o.AppendTour(ws.cur)
 	curCost := o.Cost()
 	ws.best = append(ws.best[:0], ws.cur...)
 	bestCost := curCost
@@ -110,13 +128,14 @@ func iteratedThreeOpt(m Costs, nb *Neighbors, ws *solveWorkspace, start Tour, it
 	series.Add(0, float64(curCost))
 	for i := 0; i < iters && rb.allow(); i++ {
 		rb.spend()
-		ws.kick = doubleBridgeInto(ws.kick, ws.cur, rng)
-		o.SetTour(ws.kick)
+		var kickCost Cost
+		ws.kick, kickCost = doubleBridgeIntoCost(ws.kick, ws.cur, rng, m, curCost)
+		o.SetTourCost(ws.kick, kickCost)
 		o.Optimize()
 		rt.kicks++
 		if o.Cost() <= curCost {
 			rt.kickAccepts++
-			ws.cur = append(ws.cur[:0], o.t...)
+			ws.cur = o.AppendTour(ws.cur)
 			curCost = o.Cost()
 			series.Add(int64(i+1), float64(curCost))
 			if curCost < bestCost {
@@ -126,8 +145,7 @@ func iteratedThreeOpt(m Costs, nb *Neighbors, ws *solveWorkspace, start Tour, it
 			}
 		}
 	}
-	tried, accepted := o.Moves()
-	rt.movesTried, rt.movesAccepted = tried-tried0, accepted-accepted0
+	rt.stats = o.MoveStats().Sub(stats0)
 	return ws.best.Clone(), bestCost, rt
 }
 
@@ -232,9 +250,14 @@ type Result struct {
 	// found the returned tour (0 for the initial local optimum, and for
 	// exact solves).
 	IterationsToBest int
-	// MovesTried and MovesAccepted total the candidate 3-opt moves
-	// examined and applied across all runs (0 for exact solves).
+	// MovesTried and MovesAccepted total the candidate 3-opt
+	// segment-exchange moves examined and applied across all runs (0 for
+	// exact solves).
 	MovesTried, MovesAccepted int64
+	// OrMovesTried and OrMovesAccepted are the same totals for the
+	// Or-opt relocation family (0 when Or-opt is disabled and for exact
+	// solves).
+	OrMovesTried, OrMovesAccepted int64
 	// Kicks totals the double-bridge kick rounds performed across all
 	// runs (0 for exact solves).
 	Kicks int64
@@ -438,11 +461,13 @@ func Solve(m Costs, opt SolveOptions) Result {
 		t, c, rt := iteratedThreeOpt(m, nb, ws, start, iters, rng, rs, rb)
 		wsPool.Put(ws)
 		rs.Count("tsp.kicks", rt.kicks)
-		rs.Count("tsp.moves_tried", rt.movesTried)
-		rs.Count("tsp.moves_accepted", rt.movesAccepted)
+		rs.Count("tsp.moves_tried", rt.stats.TriedTotal())
+		rs.Count("tsp.moves_accepted", rt.stats.AcceptedTotal())
+		rs.ObserveBatch("tsp.splice_len", rt.stats.SpliceBuckets[:], float64(rt.stats.SpliceSum))
 		rs.End(obs.Int("cost", c), obs.Int("iter_best", int64(rt.iterBest)),
 			obs.Int("kicks", rt.kicks), obs.Int("kick_accepts", rt.kickAccepts),
-			obs.Int("moves_tried", rt.movesTried), obs.Int("moves_accepted", rt.movesAccepted))
+			obs.Int("moves_tried", rt.stats.Tried), obs.Int("moves_accepted", rt.stats.Accepted),
+			obs.Int("or_moves_tried", rt.stats.OrTried), obs.Int("or_moves_accepted", rt.stats.OrAccepted))
 		outcomes[i] = runOutcome{executed: true, tour: t, cost: c, rt: rt}
 	}
 	par := opt.Parallelism
@@ -471,8 +496,10 @@ func Solve(m Costs, opt SolveOptions) Result {
 			continue
 		}
 		res.Runs++
-		res.MovesTried += oc.rt.movesTried
-		res.MovesAccepted += oc.rt.movesAccepted
+		res.MovesTried += oc.rt.stats.Tried
+		res.MovesAccepted += oc.rt.stats.Accepted
+		res.OrMovesTried += oc.rt.stats.OrTried
+		res.OrMovesAccepted += oc.rt.stats.OrAccepted
 		switch {
 		case res.Tour == nil || oc.cost < res.Cost:
 			res.Tour = oc.tour

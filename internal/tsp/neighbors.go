@@ -25,8 +25,11 @@ const DefaultNeighborCount = 12
 // instance yield identical lists. On a SparseMatrix the construction
 // runs in O((V+E)·(k+log k)) instead of Θ(n² log n): each row contributes
 // its exception columns plus the k smallest-index default columns (all
-// default columns tie on cost, and index order is exactly how the dense
-// sort breaks that tie).
+// default columns tie on cost, and index order is exactly how a
+// cost-stable sort breaks that tie). On dense matrices each row selects
+// its k cheapest columns through a bounded (cost, index)-keyed max-heap —
+// O(n log k) per row instead of the Θ(n log n) full sort it replaced,
+// with an identical result.
 func BuildNeighbors(m Costs, k int, forbid Cost) *Neighbors {
 	n := m.Len()
 	if k <= 0 {
@@ -42,41 +45,33 @@ func BuildNeighbors(m Costs, k int, forbid Cost) *Neighbors {
 		Out: make([][]int, n),
 		In:  make([][]int, n),
 	}
-	idx := make([]int, 0, n)
+	heap := make([]neighborCand, 0, k)
 	for i := 0; i < n; i++ {
-		idx = idx[:0]
+		heap = heap[:0]
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			if forbid >= 0 && m.At(i, j) >= forbid {
+			c := m.At(i, j)
+			if forbid >= 0 && c >= forbid {
 				continue
 			}
-			idx = append(idx, j)
+			heap = pushBounded(heap, k, neighborCand{j, c})
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return m.At(i, idx[a]) < m.At(i, idx[b]) })
-		take := k
-		if take > len(idx) {
-			take = len(idx)
-		}
-		nb.Out[i] = append([]int(nil), idx[:take]...)
+		nb.Out[i] = takeCheapest(heap, k)
 
-		idx = idx[:0]
+		heap = heap[:0]
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			if forbid >= 0 && m.At(j, i) >= forbid {
+			c := m.At(j, i)
+			if forbid >= 0 && c >= forbid {
 				continue
 			}
-			idx = append(idx, j)
+			heap = pushBounded(heap, k, neighborCand{j, c})
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return m.At(idx[a], i) < m.At(idx[b], i) })
-		take = k
-		if take > len(idx) {
-			take = len(idx)
-		}
-		nb.In[i] = append([]int(nil), idx[:take]...)
+		nb.In[i] = takeCheapest(heap, k)
 	}
 	return nb
 }
@@ -85,6 +80,60 @@ func BuildNeighbors(m Costs, k int, forbid Cost) *Neighbors {
 type neighborCand struct {
 	city int
 	cost Cost
+}
+
+// candAfter reports whether x orders strictly after y in (cost, city)
+// order — the selection key everywhere neighbor candidates are ranked.
+func candAfter(x, y neighborCand) bool {
+	if x.cost != y.cost {
+		return x.cost > y.cost
+	}
+	return x.city > y.city
+}
+
+// pushBounded offers cand to the size-k max-heap h (worst candidate at
+// the root, ordered by candAfter) and returns the updated heap: grow
+// while under capacity, otherwise replace the root only if cand beats
+// it. After offering every candidate, h holds exactly the k smallest in
+// (cost, city) order — candidates arrive in increasing city order, so
+// the (cost, city) key makes the strict comparisons reproduce a stable
+// by-cost sort's choice among ties.
+func pushBounded(h []neighborCand, k int, cand neighborCand) []neighborCand {
+	if len(h) < k {
+		h = append(h, cand)
+		// Sift up.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !candAfter(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		return h
+	}
+	if k == 0 || !candAfter(h[0], cand) {
+		return h
+	}
+	h[0] = cand
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && candAfter(h[l], h[big]) {
+			big = l
+		}
+		if r < len(h) && candAfter(h[r], h[big]) {
+			big = r
+		}
+		if big == i {
+			return h
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // takeCheapest sorts candidates by (cost, city) and returns the first k

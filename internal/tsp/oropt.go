@@ -1,0 +1,86 @@
+package tsp
+
+// Or-opt relocation: the second local-search move family. A contiguous
+// block of 1 to 3 cities s..e is cut out (reconnecting pred(s) -> succ(e))
+// and reinserted between a candidate city c and its successor, turning
+//
+//	p s..e q .. c d ..   into   p q .. c s..e d ..
+//
+// (and symmetrically when c precedes p). Like the 3-opt segment exchange,
+// the move is reversal-free — on the locked symmetric transformation it
+// is the same three-edge exchange, just found from the block's
+// perspective instead of the cut edge's — so it stays within the move set
+// the paper's transformation admits. What it adds is reach: the 3-opt
+// search only examines moves whose first reconnection edge (a, d) is on
+// a's candidate list, while the Or-opt scan requires the insertion edge
+// (c, s) to be on s's candidate list. Short blocks that would profit from
+// moving next to a far-away candidate are found here and missed there.
+//
+// The scan is candidate-list bounded and first-improvement, with the
+// standard positive-partial-gain restriction: candidates c are taken from
+// nb.In[s] in increasing cost order and the scan breaks as soon as
+// cost(c,s) >= cost(p,s) (the sorted-list analogue of the 3-opt g1
+// break). Accepted moves wake the six touched endpoints in the shared
+// queue, so the families interleave until the tour is locally optimal
+// under both.
+//
+// Gating: Or-opt changes tours (it strictly improves a 3-opt local
+// optimum or leaves it unchanged), so unlike the phase-1 two-level swap
+// it is NOT bit-identical to the historical kernel. It is enabled by the
+// production solver (SolveOptions.DisableOrOpt gates it off) and
+// quality-gated by quality_test.go (HK-gap mean <= 0.3%) and the
+// check/vet invariants; see DESIGN.md section 12.
+
+// orOptFrom searches for an improving relocation of a block of 1..3
+// cities starting at s, applying the first improvement found.
+func (o *ThreeOpt) orOptFrom(s int) bool {
+	n := o.n
+	p := o.tl.Pred(s)
+	base := o.m.At(p, s)
+	o.tl.Rank(s) // validate ranks once; the scan uses rank/NpFrom
+	e := s
+	for l := 1; l <= 3 && l <= n-2; l++ {
+		if l > 1 {
+			e = o.tl.Succ(e)
+			if e == p {
+				break // block would swallow everything but p
+			}
+		}
+		q := o.tl.Succ(e)
+		// Gain of closing the gap p->q and of the block's old exit edge;
+		// constant across candidates for this block length. At(p,q) reads
+		// the diagonal only in degenerate all-block cases that the npS
+		// bounds reject below, where the scan applies nothing.
+		qGain := o.m.At(e, q) - o.m.At(p, q)
+		for _, c := range o.nb.In[s] {
+			o.stats.OrTried++
+			g1 := base - o.m.At(c, s)
+			if g1 <= 0 {
+				break // nb.In[s] is sorted by cost
+			}
+			// c must lie strictly outside the block (and c != p, which
+			// would re-create the removed edge): relative to c, the block
+			// must sit at positions [1, n-2] without wrapping past c.
+			npS := o.tl.NpFrom(o.tl.rank(c), s)
+			if npS < 1 || npS > n-1-l {
+				continue
+			}
+			d := o.tl.Succ(c)
+			g2 := g1 + o.m.At(c, d) - o.m.At(e, d)
+			if g2 <= 0 {
+				continue
+			}
+			total := g2 + qGain
+			if total <= 0 {
+				continue
+			}
+			o.tl.Splice(c, s, e)
+			o.c -= total
+			o.stats.OrAccepted++
+			o.recordSplice(l)
+			o.wake(p, q, s, e, c, d)
+			return true
+		}
+	}
+	return false
+}

@@ -1,5 +1,7 @@
 package tsp
 
+import "math/bits"
+
 // ThreeOpt is a directed, reversal-free 3-opt local search.
 //
 // The paper solves the branch-alignment DTSP by transforming it to a
@@ -21,26 +23,75 @@ package tsp
 // equivalence.
 //
 // The search uses sorted candidate neighbor lists and don't-look bits
-// (Johnson-McGeoch style) and applies first-improvement moves.
+// (Johnson-McGeoch style) and applies first-improvement moves. The tour
+// lives in a two-level doubly-linked list (TwoLevel), so applying a move
+// is an O(√n) splice instead of the Θ(n) array rebuild earlier versions
+// paid — move application no longer dominates large solves. An optional
+// second move family, Or-opt segment relocation (see oropt.go), shares
+// the same queue and don't-look bits when enabled.
 type ThreeOpt struct {
-	m   Costs
-	nb  *Neighbors
-	n   int
-	t   Tour
-	pos []int
-	c   Cost
+	m  Costs
+	nb *Neighbors
+	n  int
+	tl *TwoLevel
+	c  Cost
+
+	// orOpt interleaves the Or-opt relocation family with the 3-opt
+	// exchanges (see SetOrOpt). Off by default: plain NewThreeOpt +
+	// Optimize is the pure 3-opt kernel, and the phase-1 equivalence
+	// tests pin it bit-identical to the historical array kernel.
+	orOpt bool
 
 	dontLook []bool
 	queue    []int
 	inQueue  []bool
-	scratch  []int
 
-	// tried counts candidate moves whose first reconnection edge was
-	// gain-tested; accepted counts applied moves. Plain increments (one
-	// predictable add each) keep the counters always-on without
-	// measurable inner-loop cost — see bench_obs_test.go.
-	tried    int64
-	accepted int64
+	stats MoveStats
+}
+
+// MoveStats aggregates solver-effort counters per move family. Tried
+// counts candidate moves whose first reconnection edge was gain-tested;
+// Accepted counts applied moves. Plain field increments (one predictable
+// add each) keep the counters always-on without measurable inner-loop
+// cost — see bench_obs_test.go.
+type MoveStats struct {
+	// Tried and Accepted count the 3-opt segment-exchange family.
+	Tried, Accepted int64
+	// OrTried and OrAccepted count the Or-opt relocation family.
+	OrTried, OrAccepted int64
+	// SpliceBuckets is a power-of-two histogram of applied splice lengths
+	// (the number of cities in the relocated block): bucket i counts
+	// moves with length in (2^(i-1), 2^i] (bucket 0: length 1).
+	SpliceBuckets [32]int64
+	// SpliceSum totals the splice lengths, so mean splice length stays
+	// exact when the distribution is reported from the buckets.
+	SpliceSum int64
+}
+
+// Sub returns the counter deltas s - t (for diffing snapshots around one
+// local-search run; the solver reuses one ThreeOpt across runs).
+func (s MoveStats) Sub(t MoveStats) MoveStats {
+	s.Tried -= t.Tried
+	s.Accepted -= t.Accepted
+	s.OrTried -= t.OrTried
+	s.OrAccepted -= t.OrAccepted
+	for i := range s.SpliceBuckets {
+		s.SpliceBuckets[i] -= t.SpliceBuckets[i]
+	}
+	s.SpliceSum -= t.SpliceSum
+	return s
+}
+
+// TriedTotal returns candidate moves examined across all families.
+func (s MoveStats) TriedTotal() int64 { return s.Tried + s.OrTried }
+
+// AcceptedTotal returns moves applied across all families.
+func (s MoveStats) AcceptedTotal() int64 { return s.Accepted + s.OrAccepted }
+
+// recordSplice tallies one applied move of splice length l.
+func (o *ThreeOpt) recordSplice(l int) {
+	o.stats.SpliceBuckets[bits.Len(uint(l-1))]++
+	o.stats.SpliceSum += int64(l)
 }
 
 // NewThreeOpt creates a local search over matrix m with candidate lists nb
@@ -55,32 +106,43 @@ func NewThreeOpt(m Costs, nb *Neighbors, t Tour) *ThreeOpt {
 		m:        m,
 		nb:       nb,
 		n:        n,
-		pos:      make([]int, n),
 		dontLook: make([]bool, n),
 		inQueue:  make([]bool, n),
-		scratch:  make([]int, n),
 	}
 	o.SetTour(t)
 	return o
 }
 
+// SetOrOpt enables (or disables) the Or-opt relocation family inside
+// Optimize. See oropt.go for the move set and gating policy.
+func (o *ThreeOpt) SetOrOpt(on bool) { o.orOpt = on }
+
 // SetTour replaces the current tour (copying it) and resets search state.
-// The copy goes into the existing tour buffer, so after construction
-// SetTour allocates nothing — the solver's kick loop resets the search
-// once per kick.
+// The copy goes into the existing two-level structure, so after
+// construction SetTour allocates nothing — the solver's kick loop resets
+// the search once per kick.
 func (o *ThreeOpt) SetTour(t Tour) {
+	o.setTour(t, CycleCost(o.m, t))
+}
+
+// SetTourCost is SetTour for callers that already know the tour's cost —
+// the kick loop derives the kicked cost from the double bridge's six-edge
+// delta, skipping SetTour's O(n) cost rescan (n At calls, each a
+// binary search on sparse instances).
+func (o *ThreeOpt) SetTourCost(t Tour, c Cost) {
+	o.setTour(t, c)
+}
+
+func (o *ThreeOpt) setTour(t Tour, c Cost) {
 	if !t.Valid(o.n) {
 		panic("tsp: ThreeOpt.SetTour: invalid tour")
 	}
-	if len(o.t) == o.n {
-		copy(o.t, t)
+	if o.tl == nil {
+		o.tl = NewTwoLevel(t)
 	} else {
-		o.t = t.Clone()
+		o.tl.Init(t)
 	}
-	for i, city := range o.t {
-		o.pos[city] = i
-	}
-	o.c = CycleCost(o.m, o.t)
+	o.c = c
 	o.queue = o.queue[:0]
 	for i := 0; i < o.n; i++ {
 		o.dontLook[i] = false
@@ -90,27 +152,30 @@ func (o *ThreeOpt) SetTour(t Tour) {
 }
 
 // Tour returns a copy of the current tour.
-func (o *ThreeOpt) Tour() Tour { return o.t.Clone() }
+func (o *ThreeOpt) Tour() Tour { return o.tl.Tour() }
+
+// AppendTour appends the current tour to dst[:0] and returns it,
+// allocating nothing when dst has capacity n.
+func (o *ThreeOpt) AppendTour(dst Tour) Tour { return o.tl.AppendTour(dst) }
 
 // Cost returns the (incrementally maintained) cost of the current tour.
 func (o *ThreeOpt) Cost() Cost { return o.c }
 
 // Moves reports the cumulative number of candidate moves examined and
-// moves applied since the ThreeOpt was created (across SetTour resets),
-// the solver-effort telemetry behind the "moves tried vs accepted"
-// counters.
-func (o *ThreeOpt) Moves() (tried, accepted int64) { return o.tried, o.accepted }
-
-func (o *ThreeOpt) succ(x int) int { return o.t[(o.pos[x]+1)%o.n] }
-func (o *ThreeOpt) pred(x int) int { return o.t[(o.pos[x]-1+o.n)%o.n] }
-
-// np returns the position of x relative to (and excluding) anchor a:
-// np(succ(a)) == 0, np(pred(a)) == n-2, np(a) == n-1.
-func (o *ThreeOpt) np(a, x int) int {
-	return (o.pos[x] - o.pos[a] - 1 + o.n) % o.n
+// moves applied across all move families since the ThreeOpt was created
+// (across SetTour resets), the solver-effort telemetry behind the "moves
+// tried vs accepted" counters. MoveStats breaks the totals down.
+func (o *ThreeOpt) Moves() (tried, accepted int64) {
+	return o.stats.TriedTotal(), o.stats.AcceptedTotal()
 }
 
+// MoveStats returns a snapshot of the cumulative per-family counters.
+func (o *ThreeOpt) MoveStats() MoveStats { return o.stats }
+
 // Optimize runs the search to a local optimum and returns the final cost.
+// With Or-opt enabled the two families share one queue: a city is marked
+// don't-look only when neither family improves from it, so the result is
+// locally optimal under both.
 func (o *ThreeOpt) Optimize() Cost {
 	if o.n < 3 {
 		return o.c
@@ -122,7 +187,11 @@ func (o *ThreeOpt) Optimize() Cost {
 		if o.dontLook[a] {
 			continue
 		}
-		if !o.improveFrom(a) {
+		improved := o.improveFrom(a)
+		if !improved && o.orOpt {
+			improved = o.orOptFrom(a)
+		}
+		if !improved {
 			o.dontLook[a] = true
 		} else if !o.inQueue[a] {
 			// Re-examine a after a successful move from it.
@@ -136,69 +205,44 @@ func (o *ThreeOpt) Optimize() Cost {
 // improveFrom searches for an improving segment-exchange move whose first
 // removed edge is (a, succ(a)); it applies the first one found.
 func (o *ThreeOpt) improveFrom(a int) bool {
-	b := o.succ(a)
+	b := o.tl.Succ(a)
 	gainBase := o.m.At(a, b)
+	ra := o.tl.Rank(a)
 	for _, d := range o.nb.Out[a] {
-		o.tried++
+		o.stats.Tried++
 		g1 := gainBase - o.m.At(a, d)
 		if g1 <= 0 {
 			break // neighbor lists are sorted by cost
 		}
-		npD := o.np(a, d)
+		npD := o.tl.NpFrom(ra, d)
 		if npD < 1 || npD > o.n-2 {
 			continue // d must lie strictly between b and a
 		}
-		c := o.pred(d)
+		c := o.tl.Pred(d)
 		g2 := g1 + o.m.At(c, d)
 		for _, e := range o.nb.In[b] {
 			g3 := g2 - o.m.At(e, b)
 			if g3 <= 0 {
 				break
 			}
-			npE := o.np(a, e)
+			npE := o.tl.NpFrom(ra, e)
 			if npE < npD || npE > o.n-2 {
 				continue // e must lie in segment d..pred(a)
 			}
-			f := o.succ(e)
+			f := o.tl.Succ(e)
 			total := g3 + o.m.At(e, f) - o.m.At(c, f)
 			if total <= 0 {
 				continue
 			}
-			o.apply(a, npD, npE, total)
+			o.tl.Splice(a, d, e)
+			o.c -= total
+			o.stats.Accepted++
+			o.recordSplice(npE - npD + 1)
 			o.wake(a, b, c, d, e, f)
 			return true
 		}
 	}
 	return false
-}
-
-// apply performs the segment exchange anchored at a with the second
-// segment spanning relative positions [npD, npE], and decreases the cached
-// cost by gain.
-func (o *ThreeOpt) apply(a, npD, npE int, gain Cost) {
-	pa := o.pos[a]
-	n := o.n
-	k := 0
-	o.scratch[k] = a
-	k++
-	for i := npD; i <= npE; i++ {
-		o.scratch[k] = o.t[(pa+1+i)%n]
-		k++
-	}
-	for i := 0; i < npD; i++ {
-		o.scratch[k] = o.t[(pa+1+i)%n]
-		k++
-	}
-	for i := npE + 1; i <= n-2; i++ {
-		o.scratch[k] = o.t[(pa+1+i)%n]
-		k++
-	}
-	copy(o.t, o.scratch[:n])
-	for i, city := range o.t {
-		o.pos[city] = i
-	}
-	o.c -= gain
-	o.accepted++
 }
 
 // wake clears don't-look bits for the endpoints touched by a move.
