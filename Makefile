@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks vet-static bench bench-snapshot trace-demo serve-demo clean
+.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks vet-static bench bench-smoke bench-snapshot trace-demo serve-demo clean
 
-ci: fmt vet build race-obs race-engine race vet-static
+ci: fmt vet build race-obs race-engine race bench-smoke vet-static
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -49,6 +49,11 @@ vet-static: vet-benchmarks
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Liveness gate over the top-level benchmark suite: run every benchmark
+# exactly once so CI catches one that panics, hangs or stops compiling.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 20m .
 
 # Record a benchmark snapshot to results/BENCH_<LABEL>.json; restrict
 # with BENCH=<regex>. Example (the dense-vs-sparse kernel comparison):

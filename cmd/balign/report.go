@@ -116,18 +116,20 @@ func profileProgram(mod *ir.Module, inputs []interp.Input) (*interp.Profile, err
 
 // reportRow is one function's joined solver + bound telemetry.
 type reportRow struct {
-	fn       string
-	cities   int64
-	cost     int64
-	bound    int64
-	hasHK    bool
-	exact    bool
-	runs     int64
-	runsBest int64
-	iterBest int64
-	tried    int64
-	accepted int64
-	durUS    int64
+	fn         string
+	cities     int64
+	cost       int64
+	bound      int64
+	hasHK      bool
+	exact      bool
+	runs       int64
+	runsBest   int64
+	iterBest   int64
+	tried      int64
+	accepted   int64
+	orTried    int64
+	orAccepted int64
+	durUS      int64
 }
 
 // renderReport joins "align.func" and "align.hk" spans by function name
@@ -159,6 +161,8 @@ func renderReport(events []obs.Event) string {
 			r.iterBest = e.Int("iter_best")
 			r.tried = e.Int("moves_tried")
 			r.accepted = e.Int("moves_accepted")
+			r.orTried = e.Int("or_moves_tried")
+			r.orAccepted = e.Int("or_moves_accepted")
 			r.durUS = e.DurUS
 		case "align.hk":
 			r := get(e.Str("func"))
@@ -180,7 +184,7 @@ func renderReport(events []obs.Event) string {
 		return ordered[i].fn < ordered[j].fn
 	})
 
-	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "moves acc/tried", "solve ms")
+	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "3-opt acc/tried", "or-opt acc/tried", "solve ms")
 	var tot reportRow
 	allHK := true
 	for _, r := range ordered {
@@ -191,15 +195,18 @@ func renderReport(events []obs.Event) string {
 		} else {
 			allHK = false
 		}
-		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s",
+		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s/%s|%s",
 			r.fn, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
 			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried),
+			stats.FormatCount(r.orAccepted), stats.FormatCount(r.orTried),
 			solveMS(r.durUS))
 		tot.cities += r.cities
 		tot.cost += r.cost
 		tot.bound += r.bound
 		tot.tried += r.tried
 		tot.accepted += r.accepted
+		tot.orTried += r.orTried
+		tot.orAccepted += r.orAccepted
 		tot.durUS += r.durUS
 	}
 	if len(ordered) > 1 {
@@ -208,12 +215,35 @@ func renderReport(events []obs.Event) string {
 			bound = fmt.Sprintf("%d", tot.bound)
 			gap = fmt.Sprintf("%.2f", gapPct(tot.cost, tot.bound))
 		}
-		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s|%s",
+		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s|%s/%s|%s",
 			len(ordered), tot.cities, tot.cost, bound, gap,
 			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried),
+			stats.FormatCount(tot.orAccepted), stats.FormatCount(tot.orTried),
 			solveMS(tot.durUS))
 	}
-	return table.String()
+	return table.String() + spliceFooter(events)
+}
+
+// spliceFooter renders the applied-move splice-length distribution (the
+// "tsp.splice_len" histogram flushed per local-search run) as one line
+// under the table: sample count, exact mean, and the occupied
+// power-of-two buckets. Traces without the histogram (pre-Or-opt
+// recordings, exact-only solves) render nothing.
+func spliceFooter(events []obs.Event) string {
+	for _, e := range events {
+		if e.Type != "hist" || e.Name != "tsp.splice_len" {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "splice length: %s moves, mean %.2f, buckets(le:n)",
+			stats.FormatCount(e.Count), e.Float("mean"))
+		for _, bk := range e.Buckets {
+			fmt.Fprintf(&b, " %d:%s", bk.Le, stats.FormatCount(bk.N))
+		}
+		b.WriteByte('\n')
+		return b.String()
+	}
+	return ""
 }
 
 // solveMS renders one solve's recorded wall-clock ("-" for traces

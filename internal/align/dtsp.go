@@ -181,9 +181,12 @@ type AlignFuncResult struct {
 	RunsAtBest int
 	// IterationsToBest is the kick iteration at which the winning run
 	// found the final tour; MovesTried/MovesAccepted total the 3-opt
-	// moves examined and applied across all runs (see tsp.Result).
-	IterationsToBest          int
-	MovesTried, MovesAccepted int64
+	// segment-exchange moves examined and applied across all runs, and
+	// OrMovesTried/OrMovesAccepted the Or-opt relocations (see
+	// tsp.Result).
+	IterationsToBest              int
+	MovesTried, MovesAccepted     int64
+	OrMovesTried, OrMovesAccepted int64
 	// Kicks totals the kick rounds performed; Truncated marks a solve
 	// cut short by its context or budget (see tsp.Result).
 	Kicks     int64
@@ -231,12 +234,15 @@ func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 	out.IterationsToBest = res.IterationsToBest
 	out.MovesTried = res.MovesTried
 	out.MovesAccepted = res.MovesAccepted
+	out.OrMovesTried = res.OrMovesTried
+	out.OrMovesAccepted = res.OrMovesAccepted
 	out.Kicks = res.Kicks
 	out.Truncated = res.Truncated
 	sp.End(obs.Int("cost", res.Cost), obs.Bool("exact", res.Exact), obs.Bool("truncated", res.Truncated),
 		obs.Int("runs", int64(res.Runs)), obs.Int("runs_at_best", int64(res.RunsAtBest)),
 		obs.Int("iter_best", int64(res.IterationsToBest)),
-		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted))
+		obs.Int("moves_tried", res.MovesTried), obs.Int("moves_accepted", res.MovesAccepted),
+		obs.Int("or_moves_tried", res.OrMovesTried), obs.Int("or_moves_accepted", res.OrMovesAccepted))
 	return out
 }
 

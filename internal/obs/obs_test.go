@@ -179,6 +179,7 @@ func TestDisabledNoOp(t *testing.T) {
 		child := sp.Child("child")
 		child.Count("c", 1)
 		child.Observe("h", 2)
+		child.ObserveBatch("hb", []int64{1, 2, 3}, 11)
 		se := child.Series("s")
 		se.Add(1, 2)
 		if se.Len() != 0 {
@@ -190,6 +191,7 @@ func TestDisabledNoOp(t *testing.T) {
 		tr.Count("c", 1)
 		tr.Gauge("g", 1)
 		tr.Observe("h", 1)
+		tr.ObserveBatch("hb", []int64{4}, 4)
 		if err := tr.Close(); err != nil {
 			t.Error(err)
 		}
@@ -313,5 +315,47 @@ func TestConcurrentSpans(t *testing.T) {
 			t.Errorf("duplicate span id %d", e.ID)
 		}
 		seen[e.ID] = true
+	}
+}
+
+// TestObserveBatch pins the pre-bucketed merge: bucket counts land on
+// the matching power-of-two upper bounds, repeated batches and plain
+// Observe calls merge into one histogram, the mean stays exact via the
+// carried sum, min/max tighten to bucket resolution, and an all-zero
+// batch records nothing.
+func TestObserveBatch(t *testing.T) {
+	tr, sink := newTestTrace()
+	// Buckets: 2 samples of value 1, 3 in (1,2], 1 in (2,4]; sum chosen
+	// as 1+1+2+2+2+3 = 11.
+	tr.ObserveBatch("splice", []int64{2, 3, 1}, 11)
+	// Merge a second batch and an individual sample.
+	tr.ObserveBatch("splice", []int64{0, 0, 0, 2}, 16) // 2 samples in (4,8], e.g. 8+8
+	tr.Observe("splice", 2)
+	tr.ObserveBatch("empty", []int64{0, 0, 0}, 0) // must not create a histogram
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hists := sink.Find("hist", "")
+	if len(hists) != 1 {
+		t.Fatalf("got %d hist events, want 1 (all-zero batch must record nothing)", len(hists))
+	}
+	e := hists[0]
+	if e.Name != "splice" || e.Count != 9 {
+		t.Fatalf("hist %q count %d, want splice/9", e.Name, e.Count)
+	}
+	if mean := e.Float("mean"); mean != (11.0+16+2)/9 {
+		t.Errorf("mean = %v, want %v", mean, (11.0+16+2)/9)
+	}
+	if e.Float("min") != 1 || e.Float("max") != 8 {
+		t.Errorf("min/max = %v/%v, want 1/8", e.Float("min"), e.Float("max"))
+	}
+	want := map[int64]int64{1: 2, 2: 4, 4: 1, 8: 2}
+	if len(e.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", e.Buckets, want)
+	}
+	for _, b := range e.Buckets {
+		if want[b.Le] != b.N {
+			t.Errorf("bucket le=%d n=%d, want %d", b.Le, b.N, want[b.Le])
+		}
 	}
 }

@@ -102,3 +102,35 @@ func TestSelfCheckCatchesTamperedProfile(t *testing.T) {
 		t.Errorf("unexpected error: %v", err)
 	}
 }
+
+// TestSelfCheckOrOptLayouts runs the full pipeline under SelfCheck with
+// the solver's Or-opt family on (the default) and off: both layouts must
+// pass the layout audit and the post-run flow-conservation check, and
+// for each the self-checked simulation must equal the unchecked one.
+// This is the end-to-end gate on the Or-opt move family — an invalid
+// relocation would corrupt a block order or break flow conservation and
+// fail here.
+func TestSelfCheckOrOptLayouts(t *testing.T) {
+	mod, prof, inputs := setup(t)
+	m := machine.Alpha21164()
+	for _, disable := range []bool{false, true} {
+		al := align.NewTSP(1)
+		al.Opts.DisableOrOpt = disable
+		l := al.Align(context.Background(), mod, prof, m)
+
+		cfg := DefaultConfig()
+		plain, _, err := Run(mod, l, inputs, cfg, interp.Options{})
+		if err != nil {
+			t.Fatalf("DisableOrOpt=%v: %v", disable, err)
+		}
+		cfg.SelfCheck = true
+		checked, _, err := Run(mod, l, inputs, cfg, interp.Options{})
+		if err != nil {
+			t.Fatalf("DisableOrOpt=%v: self-checked run failed: %v", disable, err)
+		}
+		if checked != plain {
+			t.Errorf("DisableOrOpt=%v: SelfCheck changed simulation stats:\nplain   %+v\nchecked %+v",
+				disable, plain, checked)
+		}
+	}
+}

@@ -10,6 +10,11 @@
 #   scripts/bench.sh baseline '//dense'
 #   scripts/bench.sh sparse   '//sparse'
 #
+# Labels with a recorded comparison get a default regex, so the
+# before/after pair is always measured on the same benchmark set:
+#
+#   scripts/bench.sh threeopt        # BenchmarkLargeSolve (vs threeopt_pre)
+#
 # BENCHTIME overrides -benchtime (default 20x: the sparse/dense kernel
 # benchmarks are deterministic per iteration, so a fixed iteration count
 # keeps large and small instances comparable).
@@ -18,7 +23,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 label=${1?"usage: scripts/bench.sh <label> [bench-regex]"}
-regex=${2:-.}
+case "$label" in
+threeopt*) default_regex='BenchmarkLargeSolve' ;;
+parallel*) default_regex='BenchmarkSolveParallel' ;;
+*) default_regex='.' ;;
+esac
+regex=${2:-$default_regex}
 benchtime=${BENCHTIME:-20x}
 
 mkdir -p results

@@ -35,6 +35,12 @@ GOMAXPROCS=2 go test -race -count=2 -run 'Parallel|Determin' ./internal/tsp/ ./i
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench-smoke (every benchmark compiles and runs once)"
+# -benchtime=1x: not a measurement, a liveness gate. A benchmark that
+# panics, hangs, or rots out of the build fails CI here instead of at
+# the next snapshot.
+go test -run '^$' -bench . -benchtime 1x -timeout 20m .
+
 echo "== vet-static (balign vet -all + balignlint)"
 # Static gates over the repo's own artifacts: the CFG/profile invariant
 # checker across every bundled benchmark (now including the staticprof
