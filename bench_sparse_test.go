@@ -191,6 +191,12 @@ func BenchmarkHeldKarpBound(b *testing.B) {
 // iterated-3-opt pass on multi-thousand-block synthetic CFGs — the
 // whole-solver scaling story the sparse representation exists for. No
 // dense variant: the instance alone would be gigabytes.
+//
+// The /sparse rows run pure 3-opt (DisableOrOpt) — the same move
+// sequence every pre-two-level snapshot ran, so they isolate the tour
+// data structure's speedup. The /oropt rows run the production default
+// (Or-opt interleaved), which converges deeper per iteration and
+// therefore spends more time per solve for a better tour.
 func BenchmarkLargeSolve(b *testing.B) {
 	m := machine.Alpha21164()
 	for _, blocks := range []int{5000, 20000} {
@@ -199,9 +205,17 @@ func BenchmarkLargeSolve(b *testing.B) {
 		opts := tsp.PaperSolveOptions(1)
 		opts.GreedyStarts, opts.NNStarts, opts.IdentityStarts = 0, 1, 0
 		opts.MaxIterations = 20
+		opts.DisableOrOpt = true
 		b.Run(fmt.Sprintf("synth%d/sparse", blocks), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tsp.Solve(sp, opts)
+			}
+		})
+		orOpts := opts
+		orOpts.DisableOrOpt = false
+		b.Run(fmt.Sprintf("synth%d/oropt", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tsp.Solve(sp, orOpts)
 			}
 		})
 	}
