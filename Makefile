@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks vet-static bench bench-smoke bench-snapshot trace-demo serve-demo clean
+.PHONY: ci fmt vet build test race race-obs race-engine vet-benchmarks vet-static bench bench-smoke bench-snapshot metrics-smoke trace-demo serve-demo clean
 
-ci: fmt vet build race-obs race-engine race bench-smoke vet-static
+ci: fmt vet build race-obs race-engine race bench-smoke metrics-smoke vet-static
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Extra passes over the packages with real concurrency: the telemetry
 # registry (spans end on multiple goroutines) and the parallel solver.
@@ -34,9 +34,10 @@ race-obs:
 	$(GO) test -race -count=2 ./internal/obs/ ./internal/tsp/
 
 # The request-serving stack: engine worker pool / cache / single-flight
-# and the balignd HTTP handlers, under the race detector.
+# and the balignd HTTP handlers, under the race detector. The core suite
+# alone runs ~4.5 minutes per race pass, hence the explicit timeout.
 race-engine:
-	$(GO) test -race -count=2 ./internal/engine/ ./cmd/balignd/ ./internal/core/
+	$(GO) test -race -count=2 -timeout 20m ./internal/engine/ ./cmd/balignd/ ./internal/core/
 
 # Run the pipeline-wide invariant checker over every bundled benchmark.
 vet-benchmarks:
@@ -63,6 +64,11 @@ LABEL ?= local
 BENCH ?= .
 bench-snapshot:
 	scripts/bench.sh $(LABEL) '$(BENCH)'
+
+# Boot balignd, serve one align request, and verify /metrics exposes
+# live HTTP/engine/pool families (and that readiness flips on drain).
+metrics-smoke:
+	scripts/metrics_smoke.sh
 
 # Record a full telemetry trace of a benchmark run and render the
 # per-function convergence report from it.

@@ -104,3 +104,53 @@ func BenchmarkDisabledSpanOps(b *testing.B) {
 		sp.End(obs.Float("v", 2.5))
 	}
 }
+
+// BenchmarkRegistryTelemetry measures the metrics-plane update path the
+// way the request path hits it: handles resolved once at construction,
+// then counter increments, a labeled histogram observation, and a gauge
+// swing per iteration. "off" runs the same call sequence against a nil
+// registry — the disabled metrics plane must cost only nil checks and
+// zero allocations, the same contract as the nil span.
+func BenchmarkRegistryTelemetry(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		c := reg.Counter("bench_requests_total", "")
+		cv := reg.CounterVec("bench_codes_total", "", "code")
+		ok := cv.With("200")
+		g := reg.Gauge("bench_inflight", "")
+		hv := reg.HistogramVec("bench_latency_seconds", "", -14, 6, "mode")
+		h := hv.With("measured")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Add(1)
+			c.Inc()
+			ok.Inc()
+			h.Observe(float64(i%1000) * 1e-4)
+			g.Add(-1)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// BenchmarkRegistryWith measures the label-resolution slow path (map
+// lookup under lock per call) against the resolved-handle fast path, to
+// keep the "resolve once, hold the handle" guidance in DESIGN.md honest.
+func BenchmarkRegistryWith(b *testing.B) {
+	reg := obs.NewRegistry()
+	cv := reg.CounterVec("bench_lookup_total", "", "endpoint", "code")
+	b.Run("resolve-each", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cv.With("/v1/align", "200").Inc()
+		}
+	})
+	b.Run("held-handle", func(b *testing.B) {
+		h := cv.With("/v1/align", "200")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Inc()
+		}
+	})
+}

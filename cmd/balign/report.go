@@ -171,7 +171,7 @@ func renderReport(events []obs.Event) string {
 		}
 	}
 	if len(rows) == 0 {
-		return "no align.func/align.hk spans in trace (was the run recorded with -trace, tsp aligner and -bound?)\n"
+		return requestHeader(events) + "no align.func/align.hk spans in trace (was the run recorded with -trace, tsp aligner and -bound?)\n"
 	}
 	ordered := make([]*reportRow, 0, len(rows))
 	for _, r := range rows {
@@ -221,7 +221,30 @@ func renderReport(events []obs.Event) string {
 			stats.FormatCount(tot.orAccepted), stats.FormatCount(tot.orTried),
 			solveMS(tot.durUS))
 	}
-	return table.String() + spliceFooter(events)
+	return requestHeader(events) + table.String() + spliceFooter(events)
+}
+
+// requestHeader renders the request IDs found in the trace, one header
+// line above the table. balignd stamps the middleware-assigned ID on
+// each request's root span, so an operator holding an access-log line
+// can confirm this trace is the one that served it. Traces recorded by
+// the CLI carry no ID and render no header.
+func requestHeader(events []obs.Event) string {
+	var ids []string
+	seen := map[string]bool{}
+	for _, e := range events {
+		if e.Type != "span" || !e.Has("request_id") {
+			continue
+		}
+		if id := e.Str("request_id"); id != "" && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return ""
+	}
+	return "request id: " + strings.Join(ids, ", ") + "\n"
 }
 
 // spliceFooter renders the applied-move splice-length distribution (the

@@ -64,6 +64,36 @@ func TestRenderReportMissingBound(t *testing.T) {
 	}
 }
 
+// TestRenderReportRequestID pins the daemon-trace affordance: when the
+// root span carries a request_id attr (stamped by balignd's middleware),
+// the report leads with a "request id:" header matching it; CLI-recorded
+// traces without the attr render no header.
+func TestRenderReportRequestID(t *testing.T) {
+	events := []obs.Event{
+		span("balignd.align", map[string]any{"request_id": "srv-42"}),
+		span("align.func", map[string]any{"func": "f", "cities": float64(4), "cost": float64(5)}),
+	}
+	out := renderReport(events)
+	if !strings.HasPrefix(out, "request id: srv-42\n") {
+		t.Errorf("missing request id header:\n%s", out)
+	}
+	// Duplicated attrs (root + children) collapse to one mention.
+	events = append(events, span("align.hk", map[string]any{"func": "f", "bound": float64(4), "request_id": "srv-42"}))
+	if out := renderReport(events); strings.Count(out, "srv-42") != 1 {
+		t.Errorf("request id not deduplicated:\n%s", out)
+	}
+	// The header also leads the empty-trace message, so a daemon trace
+	// with no solver spans still identifies itself.
+	empty := renderReport([]obs.Event{span("balignd.align", map[string]any{"request_id": "srv-7"})})
+	if !strings.HasPrefix(empty, "request id: srv-7\n") {
+		t.Errorf("empty-trace message lost the header:\n%s", empty)
+	}
+	// No attr, no header.
+	if out := renderReport([]obs.Event{span("align.func", map[string]any{"func": "f"})}); strings.HasPrefix(out, "request id") {
+		t.Errorf("spurious header:\n%s", out)
+	}
+}
+
 // TestReportRunEndToEnd drives the in-process pipeline of `balign
 // report` on a bundled benchmark and checks the solver and bound
 // telemetry join into a plausible table.

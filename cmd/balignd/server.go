@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	netpprof "net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +44,14 @@ type serverConfig struct {
 	// MaxTimeout clamps what a request may ask for.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default:
+	// profiling endpoints expose heap contents and cost CPU, so they are
+	// opt-in per process, not per scrape).
+	Pprof bool
+	// LogWriter receives the structured JSON logs (access lines,
+	// lifecycle events). Nil silences them — main passes os.Stderr,
+	// tests pass a buffer or nothing.
+	LogWriter io.Writer
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -56,37 +67,74 @@ func (c serverConfig) withDefaults() serverConfig {
 	return c
 }
 
-// serverStats are the server-level counters surfaced by /v1/stats
-// (engine counters are reported alongside). Atomics: the handlers
-// bump them concurrently.
-type serverStats struct {
-	Requests  atomic.Int64
-	Shed      atomic.Int64
-	Errors    atomic.Int64
-	Truncated atomic.Int64
-}
-
 type server struct {
 	cfg      serverConfig
+	reg      *obs.Registry
 	eng      *engine.Engine
+	logger   *slog.Logger
 	inflight chan struct{}
 	mux      *http.ServeMux
-	stats    serverStats
+	handler  http.Handler // mux wrapped in the observability middleware
+
+	// draining flips once, when shutdown begins: /v1/readyz goes 503 so
+	// load balancers stop routing here, while /v1/healthz stays 200 so
+	// orchestrators do not kill the process mid-drain.
+	draining atomic.Bool
+
+	// Server-level counters, alongside the middleware's HTTP families.
+	// shed/alignErrors/alignTruncated classify /v1/align outcomes the
+	// status code alone does not (truncated solves are 200s).
+	sheds          *obs.Counter
+	alignErrors    *obs.Counter
+	alignTruncated *obs.Counter
+
+	// testHookAligning, when set, runs inside handleAlign after the
+	// in-flight slot is taken — the deterministic window server tests
+	// (drain, shedding) synchronize on.
+	testHookAligning func()
 }
 
-// newServer wires the engine and routes. It is the unit the tests
-// exercise through httptest, independent of sockets and signals.
+// newServer wires the registry, engine, middleware and routes. It is
+// the unit the tests exercise through httptest, independent of sockets
+// and signals.
 func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
+	logOut := cfg.LogWriter
+	if logOut == nil {
+		logOut = io.Discard
+	}
+	reg := obs.NewRegistry()
 	s := &server{
-		cfg:      cfg,
-		eng:      engine.New(engine.Options{Workers: cfg.Workers, Parallelism: cfg.Parallelism, CacheEntries: cfg.CacheEntries}),
+		cfg: cfg,
+		reg: reg,
+		eng: engine.New(engine.Options{
+			Workers:      cfg.Workers,
+			Parallelism:  cfg.Parallelism,
+			CacheEntries: cfg.CacheEntries,
+			Registry:     reg,
+		}),
+		logger:   slog.New(slog.NewJSONHandler(logOut, nil)),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		mux:      http.NewServeMux(),
+		sheds: reg.Counter("balignd_sheds_total",
+			"Align requests shed with 429 at the in-flight cap."),
+		alignErrors: reg.Counter("balignd_align_errors_total",
+			"Align requests that failed (malformed input, expired deadline before solving)."),
+		alignTruncated: reg.Counter("balignd_align_truncated_total",
+			"Align responses whose solve was truncated by a deadline or budget."),
 	}
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	// Catch-all: unknown routes get the same structured JSON error body
 	// as every other failure, not net/http's plain-text 404 page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -95,10 +143,20 @@ func newServer(cfg serverConfig) *server {
 			Kind:  "not_found",
 		})
 	})
+	s.handler = newMiddleware(s.mux, reg, s.logger)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// startDrain marks the server not-ready. In-flight requests keep
+// running (http.Server.Shutdown waits for them); only the readiness
+// probe changes, so traffic stops arriving before connections close.
+func (s *server) startDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "draining")
+	}
+}
 
 // alignRequest is the wire form of one alignment job: a program (inline
 // Mini-C source, or the name of a bundled benchmark) plus either a
@@ -200,37 +258,61 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness only: stays 200 through a drain so the orchestrator does
+	// not kill a process that is still finishing requests.
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
 }
 
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// statsResponse is the /v1/stats body. Every number is read back from
+// the metrics registry (or the engine's handles into it), so this JSON
+// view and the /metrics exposition can never disagree —
+// TestStatsMatchesMetrics pins the parity.
+type statsResponse struct {
+	Server struct {
+		Requests  int64 `json:"requests"`
+		Shed      int64 `json:"shed"`
+		Errors    int64 `json:"errors"`
+		Truncated int64 `json:"truncated"`
+	} `json:"server"`
+	Engine engine.Stats `json:"engine"`
+}
+
+func (s *server) statsSnapshot() statsResponse {
+	var out statsResponse
+	// "requests" keeps its historical meaning: align requests accepted
+	// for handling, shed ones included. The middleware's counter ticks
+	// on completion, and sheds are also counted there, so in-flight
+	// align requests appear once they finish.
+	out.Server.Requests = int64(s.reg.Sum("balignd_http_requests_total",
+		map[string]string{"endpoint": "/v1/align"}))
+	out.Server.Shed = s.sheds.Value()
+	out.Server.Errors = s.alignErrors.Value()
+	out.Server.Truncated = s.alignTruncated.Value()
+	out.Engine = s.eng.Stats()
+	return out
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Server struct {
-			Requests  int64 `json:"requests"`
-			Shed      int64 `json:"shed"`
-			Errors    int64 `json:"errors"`
-			Truncated int64 `json:"truncated"`
-		} `json:"server"`
-		Engine engine.Stats `json:"engine"`
-	}{
-		Server: struct {
-			Requests  int64 `json:"requests"`
-			Shed      int64 `json:"shed"`
-			Errors    int64 `json:"errors"`
-			Truncated int64 `json:"truncated"`
-		}{
-			Requests:  s.stats.Requests.Load(),
-			Shed:      s.stats.Shed.Load(),
-			Errors:    s.stats.Errors.Load(),
-			Truncated: s.stats.Truncated.Load(),
-		},
-		Engine: s.eng.Stats(),
-	})
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	s.stats.Requests.Add(1)
 	select {
 	case s.inflight <- struct{}{}:
 		defer func() { <-s.inflight }()
@@ -238,10 +320,13 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		// Shed instead of queueing: the caller can retry with backoff,
 		// and /v1/healthz stays responsive because it never takes this
 		// path.
-		s.stats.Shed.Add(1)
+		s.sheds.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity", Kind: "capacity"})
 		return
+	}
+	if s.testHookAligning != nil {
+		s.testHookAligning()
 	}
 
 	var req alignRequest
@@ -270,13 +355,13 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	if res.Truncated {
-		s.stats.Truncated.Add(1)
+		s.alignTruncated.Inc()
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {
-	s.stats.Errors.Add(1)
+	s.alignErrors.Inc()
 	writeJSON(w, code, errorResponse{Error: err.Error(), Kind: errKind(code, err)})
 }
 
@@ -312,6 +397,12 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		sink = &obs.MemorySink{}
 		tr = obs.New(sink)
 		root = tr.Start("balignd.align", obs.String("model", model.Name), obs.Int("seed", req.Seed))
+		// Stamp the middleware-assigned request ID on the root span, so
+		// an access-log line leads straight to the solver trace that
+		// served it (`balign report -in` prints it back in its header).
+		if id := requestID(ctx); id != "" {
+			root.SetAttrs(obs.String("request_id", id))
+		}
 	}
 
 	eres, err := s.eng.Align(ctx, engine.Request{

@@ -49,6 +49,9 @@ type lru struct {
 	max   int
 	order *list.List // front = most recent; values are *lruEntry
 	byKey map[string]*list.Element
+	// onEvict, when non-nil, observes each capacity eviction (not
+	// replacements of an existing key) — the metrics-plane hook.
+	onEvict func()
 }
 
 type lruEntry struct {
@@ -59,6 +62,9 @@ type lruEntry struct {
 func newLRU(max int) *lru {
 	return &lru{max: max, order: list.New(), byKey: map[string]*list.Element{}}
 }
+
+// len returns the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }
 
 func (c *lru) get(key string) (*Result, bool) {
 	if c.max <= 0 {
@@ -86,5 +92,8 @@ func (c *lru) put(key string, res *Result) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"branchalign/internal/align"
 	"branchalign/internal/interp"
@@ -74,6 +75,12 @@ type Options struct {
 	// bit-identical at every setting, so this is a latency knob only —
 	// it is deliberately excluded from the result cache key.
 	Parallelism int
+	// Registry is the metrics registry the engine records into (cache
+	// hits/misses/evictions, single-flight dedups, truncations, solve
+	// latency, worker-pool gauges). Nil gets a private registry, so the
+	// counters behind Stats() always exist; pass the process registry to
+	// expose them on /metrics. Instrumentation never affects results.
+	Registry *obs.Registry
 }
 
 // Request describes one alignment job. Module and Profile are borrowed
@@ -177,11 +184,11 @@ type Stats struct {
 type Engine struct {
 	pool        *work.Pool
 	parallelism int
+	met         metrics
 
 	mu       sync.Mutex
 	cache    *lru
 	inflight map[string]*call
-	stats    Stats
 }
 
 // call is one in-flight computation other identical requests can wait
@@ -201,22 +208,40 @@ func New(o Options) *Engine {
 	if entries == 0 {
 		entries = 64
 	}
-	return &Engine{
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
 		pool:        work.NewPool(o.Workers),
 		parallelism: o.Parallelism,
 		cache:       newLRU(entries),
 		inflight:    map[string]*call{},
 	}
+	e.cache.onEvict = func() { e.met.evictions.Inc() }
+	e.met = newMetrics(reg, e.pool, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(e.cache.len())
+	})
+	return e
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The values are read
+// back from the same registry cells /metrics exposes, so the two
+// surfaces agree by construction.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.stats
-	s.Workers = e.pool.Cap()
-	s.InFlightRuns = e.pool.Active()
-	return s
+	return Stats{
+		Requests:     e.met.requests.Value(),
+		CacheHits:    e.met.cacheHits.Value(),
+		Coalesced:    e.met.coalesced.Value(),
+		Solved:       e.met.solves.Value(),
+		Truncated:    e.met.truncated.Value(),
+		Errors:       e.met.errors.Value(),
+		InFlight:     int64(e.met.inFlight.Value()),
+		Workers:      e.pool.Cap(),
+		InFlightRuns: e.pool.Active(),
+	}
 }
 
 // Align runs one alignment request. It returns an error only for
@@ -243,13 +268,15 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	e.met.requests.Inc()
 
 	e.mu.Lock()
-	e.stats.Requests++
 	for {
 		if res, ok := e.cache.get(key); ok {
-			e.stats.CacheHits++
 			e.mu.Unlock()
+			e.met.cacheHits.Inc()
+			e.met.observe(start, req.StaticProfile, "hit")
 			hit := *res
 			hit.CacheHit = true
 			return &hit, nil
@@ -268,23 +295,15 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 			// The anytime contract still applies: solve directly with
 			// the expired context, which truncates at the first budget
 			// check and yields a valid best-effort layout.
+			e.met.cacheMisses.Inc()
 			res, err := e.solve(ctx, req)
-			e.mu.Lock()
-			if err != nil {
-				e.stats.Errors++
-			} else {
-				e.stats.Solved++
-				if res.Truncated {
-					e.stats.Truncated++
-				}
-			}
-			e.mu.Unlock()
+			e.finishSolve(res, err)
+			e.met.observe(start, req.StaticProfile, "miss")
 			return res, err
 		}
 		if c.err == nil && !c.res.Truncated {
-			e.mu.Lock()
-			e.stats.Coalesced++
-			e.mu.Unlock()
+			e.met.coalesced.Inc()
+			e.met.observe(start, req.StaticProfile, "coalesced")
 			shared := *c.res
 			shared.Coalesced = true
 			return &shared, nil
@@ -295,28 +314,36 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
-	e.stats.InFlight++
 	e.mu.Unlock()
+	e.met.cacheMisses.Inc()
+	e.met.inFlight.Add(1)
 
 	res, err := e.solve(ctx, req)
 
+	e.met.inFlight.Add(-1)
+	e.finishSolve(res, err)
 	e.mu.Lock()
 	delete(e.inflight, key)
-	e.stats.InFlight--
-	if err != nil {
-		e.stats.Errors++
-	} else {
-		e.stats.Solved++
-		if res.Truncated {
-			e.stats.Truncated++
-		} else {
-			e.cache.put(key, res)
-		}
+	if err == nil && !res.Truncated {
+		e.cache.put(key, res)
 	}
 	e.mu.Unlock()
+	e.met.observe(start, req.StaticProfile, "miss")
 	c.res, c.err = res, err
 	close(c.done)
 	return res, err
+}
+
+// finishSolve records one completed solve's outcome counters.
+func (e *Engine) finishSolve(res *Result, err error) {
+	if err != nil {
+		e.met.errors.Inc()
+		return
+	}
+	e.met.solves.Inc()
+	if res.Truncated {
+		e.met.truncated.Inc()
+	}
 }
 
 // solve performs the actual per-function fan-out under the shared

@@ -32,14 +32,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a bounded set of worker tokens. The zero Pool is not usable;
 // a nil *Pool is valid and degrades every batch to sequential execution
 // in the caller.
 type Pool struct {
-	tokens chan struct{}
-	active atomic.Int64
+	tokens  chan struct{}
+	active  atomic.Int64
+	waiting atomic.Int64
+	onWait  atomic.Pointer[func(time.Duration)]
 }
 
 // NewPool returns a pool allowing up to n concurrently executing helper
@@ -83,6 +86,58 @@ func (p *Pool) Active() int64 {
 		return 0
 	}
 	return p.active.Load()
+}
+
+// Waiting returns the number of helper goroutines currently blocked on
+// a pool token — the pool's queue depth. Only Each helpers queue
+// (Nested acquisition is non-blocking by design), so a non-zero value
+// means top-level fan-out is contending for workers. Like Active, a
+// live gauge for metrics endpoints, not a synchronization primitive.
+func (p *Pool) Waiting() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.waiting.Load()
+}
+
+// SetWaitObserver installs fn to be called with each Each helper's
+// token-acquisition wait — the pool's queue-wait distribution. fn must
+// be safe for concurrent use and cheap (it runs once per helper, not
+// per task). A nil fn removes the observer. Safe to call at any time;
+// on a nil pool it is a no-op. Observation never perturbs results:
+// waits change wall-clock only, never task outcomes (the pool's
+// schedule-independence contract).
+func (p *Pool) SetWaitObserver(fn func(time.Duration)) {
+	if p == nil {
+		return
+	}
+	if fn == nil {
+		p.onWait.Store(nil)
+		return
+	}
+	p.onWait.Store(&fn)
+}
+
+// acquire blocks until a token is free, maintaining the queue-depth
+// gauge and reporting the wait to the observer, if any.
+func (p *Pool) acquire() {
+	select {
+	case p.tokens <- struct{}{}:
+		// Fast path: a token was free; no queueing, no clock reads.
+		return
+	default:
+	}
+	p.waiting.Add(1)
+	var start time.Time
+	fn := p.onWait.Load()
+	if fn != nil {
+		start = time.Now()
+	}
+	p.tokens <- struct{}{}
+	p.waiting.Add(-1)
+	if fn != nil {
+		(*fn)(time.Since(start))
+	}
 }
 
 // batch tracks one Each/Nested invocation: the next undispatched index
@@ -162,7 +217,7 @@ func (p *Pool) Each(n int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.tokens <- struct{}{}
+			p.acquire()
 			defer func() { <-p.tokens }()
 			b.drain(p)
 		}()

@@ -186,3 +186,73 @@ func TestCapNil(t *testing.T) {
 		t.Fatalf("NewPool(0).Cap() = %d, want GOMAXPROCS", got)
 	}
 }
+
+// TestQueueMetrics pins the queue-depth gauge and wait observer: with a
+// one-token pool held by a blocked Each helper, a second Each must
+// queue (Waiting = 1) and, once unblocked, report its wait.
+func TestQueueMetrics(t *testing.T) {
+	p := NewPool(1)
+	var waits atomic.Int64
+	p.SetWaitObserver(func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative wait %v", d)
+		}
+		waits.Add(1)
+	})
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		once := sync.Once{}
+		p.Each(2, func(int) {
+			once.Do(func() { close(started) })
+			<-block
+		})
+	}()
+	<-started // the only token is now held, task 0 blocked
+
+	second := make(chan struct{})
+	go func() {
+		defer close(second)
+		p.Each(2, func(int) {})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second batch never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := p.Waiting(); got != 1 {
+		t.Fatalf("Waiting = %d with one queued helper, want 1", got)
+	}
+
+	close(block)
+	<-first
+	<-second
+	if got := p.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after batches drained, want 0", got)
+	}
+	if waits.Load() == 0 {
+		t.Fatal("wait observer never called for the queued helper")
+	}
+
+	// Removing the observer must stick.
+	p.SetWaitObserver(nil)
+	n := waits.Load()
+	p.Each(4, func(int) {})
+	if waits.Load() != n {
+		t.Fatal("observer called after removal")
+	}
+}
+
+// TestWaitingNil covers the nil-pool queue accessors.
+func TestWaitingNil(t *testing.T) {
+	var p *Pool
+	if p.Waiting() != 0 {
+		t.Fatal("nil pool Waiting must be 0")
+	}
+	p.SetWaitObserver(func(time.Duration) {}) // must not panic
+}

@@ -24,7 +24,9 @@ echo "== go test -race (telemetry + solver, concurrency-heavy)"
 go test -race -count=2 ./internal/obs/ ./internal/tsp/
 
 echo "== go test -race (engine + balignd + suite, request-serving stack)"
-go test -race -count=2 ./internal/engine/ ./cmd/balignd/ ./internal/core/
+# -timeout 20m: the core suite alone runs ~4.5 minutes per pass under
+# the race detector, so two passes brush the 10-minute default.
+go test -race -count=2 -timeout 20m ./internal/engine/ ./cmd/balignd/ ./internal/core/
 
 echo "== go test -race GOMAXPROCS=2 (schedule-independence of parallel solves)"
 # Determinism must survive real preemption: with two OS threads the race
@@ -33,13 +35,21 @@ echo "== go test -race GOMAXPROCS=2 (schedule-independence of parallel solves)"
 GOMAXPROCS=2 go test -race -count=2 -run 'Parallel|Determin' ./internal/tsp/ ./internal/align/
 
 echo "== go test -race"
-go test -race ./...
+go test -race -timeout 20m ./...
 
 echo "== bench-smoke (every benchmark compiles and runs once)"
 # -benchtime=1x: not a measurement, a liveness gate. A benchmark that
 # panics, hangs, or rots out of the build fails CI here instead of at
 # the next snapshot.
 go test -run '^$' -bench . -benchtime 1x -timeout 20m .
+
+echo "== metrics-smoke (boot balignd, align once, scrape /metrics)"
+# Black-box gate on the metrics plane: the exposition must be
+# scrapeable from a real process with the core families present and
+# the request counters actually moving. Catches wiring regressions
+# (registry not shared, middleware unplugged) that in-process tests
+# with injected registries cannot.
+scripts/metrics_smoke.sh
 
 echo "== vet-static (balign vet -all + balignlint)"
 # Static gates over the repo's own artifacts: the CFG/profile invariant
