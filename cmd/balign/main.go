@@ -78,7 +78,8 @@ func run(args []string) (err error) {
 		scalarN   = fs.Int64("n", -1, "entry scalar argument (default: array length)")
 		benchName = fs.String("bench", "", "use a built-in benchmark instead of -src")
 		dataset   = fs.String("dataset", "", "benchmark data set name (with -bench)")
-		alignSel  = fs.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, all")
+		alignSel  = fs.String("aligner", "all", "aligner: original, greedy, calder-grunwald, ap-patch, tsp, exttsp, all")
+		algSel    = fs.String("algorithm", "", "alias for -aligner, matching balignd's \"algorithm\" request field")
 		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		seed      = fs.Int64("seed", 1, "solver seed")
 		parallel  = fs.Int("parallel", 0, "TSP solver parallelism: max concurrent local-search runs per function (-1 = all CPUs); non-zero also solves functions in parallel; results are bit-identical at every setting")
@@ -101,6 +102,9 @@ func run(args []string) (err error) {
 		tracePath = fs.String("trace", "", "export run telemetry (spans, convergence series, counters) as NDJSON (\"-\" streams to stdout, tables move to stderr)")
 	)
 	fs.Parse(args)
+	if *algSel != "" {
+		*alignSel = *algSel
+	}
 	ctx := context.Background()
 
 	// Telemetry: a nil root span (no -trace) disables every obs call site
@@ -266,7 +270,10 @@ func run(args []string) (err error) {
 	table.Rowf("original|%d|1.000|%s|1.0000", origCP, cyclesCell(*sim, origCycles))
 	for _, a := range aligners {
 		asp := root.Child("align", obs.String("aligner", a.Name()))
-		if t, ok := a.(*align.TSP); ok {
+		switch t := a.(type) {
+		case *align.TSP:
+			t.Obs = asp
+		case *align.ExtTSP:
 			t.Obs = asp
 		}
 		l := a.Align(ctx, mod, prof, model)
@@ -428,29 +435,38 @@ func pickModel(name string) (machine.Model, error) {
 }
 
 func pickAligners(sel string, seed int64, parallel int) ([]align.Aligner, error) {
-	newTSP := func() *align.TSP {
-		t := align.NewTSP(seed)
-		if parallel != 0 {
-			t.Parallel = true
-			t.Opts.Parallelism = parallel
+	o := align.Options{Seed: seed}
+	if parallel != 0 {
+		o.Parallel = true
+		o.Parallelism = parallel
+	}
+	build := func(names ...string) ([]align.Aligner, error) {
+		out := make([]align.Aligner, 0, len(names))
+		for _, name := range names {
+			a, err := align.New(name, o)
+			if err != nil {
+				return nil, fmt.Errorf("unknown aligner %q (known: %v)", name, align.Names())
+			}
+			out = append(out, a)
 		}
-		return t
+		return out, nil
 	}
 	switch sel {
 	case "all":
-		return []align.Aligner{align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, newTSP()}, nil
+		// Every registered aligner except the original-order baseline,
+		// which the driver always prints as its own first row. The order
+		// is fixed (weakest heuristic to strongest solver), not the
+		// registry's alphabetical one, so the table reads as a
+		// progression.
+		return build("greedy", "calder-grunwald", "ap-patch", "tsp", "exttsp")
 	case "original":
 		return nil, nil
-	case "greedy":
-		return []align.Aligner{align.PettisHansen{}}, nil
-	case "calder-grunwald", "cg":
-		return []align.Aligner{&align.CalderGrunwald{}}, nil
-	case "ap-patch", "patch":
-		return []align.Aligner{align.APPatch{}}, nil
-	case "tsp":
-		return []align.Aligner{newTSP()}, nil
+	case "cg":
+		sel = "calder-grunwald"
+	case "patch":
+		sel = "ap-patch"
 	}
-	return nil, fmt.Errorf("unknown aligner %q", sel)
+	return build(sel)
 }
 
 func cyclesCell(sim bool, cycles machine.Cost) string {

@@ -21,7 +21,7 @@ func TestPickModel(t *testing.T) {
 }
 
 func TestPickAligners(t *testing.T) {
-	cases := map[string]int{"all": 4, "original": 0, "greedy": 1, "cg": 1, "calder-grunwald": 1, "ap-patch": 1, "patch": 1, "tsp": 1}
+	cases := map[string]int{"all": 5, "original": 0, "greedy": 1, "cg": 1, "calder-grunwald": 1, "ap-patch": 1, "patch": 1, "tsp": 1, "exttsp": 1}
 	for sel, want := range cases {
 		as, err := pickAligners(sel, 1, 2)
 		if err != nil {

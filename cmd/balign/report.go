@@ -35,6 +35,7 @@ func runReport(args []string) int {
 		dataset   = fs.String("dataset", "", "benchmark data set name (with -bench)")
 		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		seed      = fs.Int64("seed", 1, "solver seed")
+		algSel    = fs.String("algorithm", "tsp", "aligner for live runs: tsp, exttsp, greedy, ...")
 		hkIters   = fs.Int("hk-iters", 3000, "Held-Karp subgradient iterations")
 		parallel  = fs.Int("parallel", 0, "TSP solver parallelism for live runs: max concurrent local-search runs per function (-1 = all CPUs); bit-identical results, lower wall-clock in the solve-ms column")
 	)
@@ -63,7 +64,7 @@ func runReport(args []string) int {
 		}
 	} else {
 		var err error
-		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *seed, *hkIters, *parallel)
+		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *algSel, *seed, *hkIters, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "balign report:", err)
 			return 1
@@ -73,9 +74,9 @@ func runReport(args []string) int {
 	return 0
 }
 
-// reportRun executes the profile -> TSP-align -> Held-Karp pipeline with
+// reportRun executes the profile -> align -> Held-Karp pipeline with
 // an in-memory telemetry sink and returns the collected events.
-func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel string, seed int64, hkIters, parallel int) ([]obs.Event, error) {
+func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel, algorithm string, seed int64, hkIters, parallel int) ([]obs.Event, error) {
 	mod, inputs, err := loadProgram(srcPath, benchName, dataset, data, scalarN)
 	if err != nil {
 		return nil, err
@@ -91,11 +92,14 @@ func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel
 
 	sink := &obs.MemorySink{}
 	tr := obs.New(sink)
-	root := tr.Start("balign.report", obs.String("model", modelSel), obs.Int("seed", seed))
-	aligner := align.NewTSP(seed)
-	aligner.Parallel = true
-	aligner.Opts.Parallelism = parallel
-	aligner.Obs = root
+	root := tr.Start("balign.report", obs.String("model", modelSel),
+		obs.String("algorithm", algorithm), obs.Int("seed", seed))
+	aligner, err := align.New(algorithm, align.Options{
+		Seed: seed, Parallel: true, Parallelism: parallel, Obs: root,
+	})
+	if err != nil {
+		return nil, err
+	}
 	aligner.Align(context.Background(), mod, prof, model)
 	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: hkIters, Obs: root})
 	root.End()
@@ -117,6 +121,7 @@ func profileProgram(mod *ir.Module, inputs []interp.Input) (*interp.Profile, err
 // reportRow is one function's joined solver + bound telemetry.
 type reportRow struct {
 	fn         string
+	alg        string
 	cities     int64
 	cost       int64
 	bound      int64
@@ -153,6 +158,12 @@ func renderReport(events []obs.Event) string {
 		switch e.Name {
 		case "align.func":
 			r := get(e.Str("func"))
+			// Spans recorded before the aligner registry carry no
+			// algorithm attribute; they were all TSP solves.
+			r.alg = e.Str("algorithm")
+			if r.alg == "" {
+				r.alg = "tsp"
+			}
 			r.cities = e.Int("cities")
 			r.cost = e.Int("cost")
 			r.exact = e.Bool("exact")
@@ -184,7 +195,7 @@ func renderReport(events []obs.Event) string {
 		return ordered[i].fn < ordered[j].fn
 	})
 
-	table := stats.NewTable("function", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "3-opt acc/tried", "or-opt acc/tried", "solve ms")
+	table := stats.NewTable("function", "algorithm", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "3-opt acc/tried", "or-opt acc/tried", "solve ms")
 	var tot reportRow
 	allHK := true
 	for _, r := range ordered {
@@ -195,8 +206,12 @@ func renderReport(events []obs.Event) string {
 		} else {
 			allHK = false
 		}
-		table.Rowf("%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s/%s|%s",
-			r.fn, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
+		alg := r.alg
+		if alg == "" {
+			alg = "-" // an align.hk span with no matching align.func
+		}
+		table.Rowf("%s|%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s/%s|%s",
+			r.fn, alg, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
 			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried),
 			stats.FormatCount(r.orAccepted), stats.FormatCount(r.orTried),
 			solveMS(r.durUS))
@@ -215,7 +230,7 @@ func renderReport(events []obs.Event) string {
 			bound = fmt.Sprintf("%d", tot.bound)
 			gap = fmt.Sprintf("%.2f", gapPct(tot.cost, tot.bound))
 		}
-		table.Rowf("total (%d)|%d|%d|%s|%s||||%s/%s|%s/%s|%s",
+		table.Rowf("total (%d)||%d|%d|%s|%s||||%s/%s|%s/%s|%s",
 			len(ordered), tot.cities, tot.cost, bound, gap,
 			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried),
 			stats.FormatCount(tot.orAccepted), stats.FormatCount(tot.orTried),

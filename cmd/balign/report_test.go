@@ -98,7 +98,7 @@ func TestRenderReportRequestID(t *testing.T) {
 // report` on a bundled benchmark and checks the solver and bound
 // telemetry join into a plausible table.
 func TestReportRunEndToEnd(t *testing.T) {
-	events, err := reportRun("", "compress", "", "", -1, "alpha21164", 1, 30, 2)
+	events, err := reportRun("", "compress", "", "", -1, "alpha21164", "tsp", 1, 30, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +110,23 @@ func TestReportRunEndToEnd(t *testing.T) {
 		if strings.Contains(line, "-1") {
 			t.Errorf("negative cell in report:\n%s", out)
 		}
+	}
+}
+
+// TestReportRunExtTSP: the live-run -algorithm flag reaches the
+// registry, and the algorithm column labels every row with the chain
+// merger's name.
+func TestReportRunExtTSP(t *testing.T) {
+	events, err := reportRun("", "compress", "", "", -1, "alpha21164", "exttsp", 1, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderReport(events)
+	if !strings.Contains(out, "algorithm") || !strings.Contains(out, "exttsp") {
+		t.Errorf("report missing exttsp algorithm column:\n%s", out)
+	}
+	if _, err := reportRun("", "compress", "", "", -1, "alpha21164", "nonesuch", 1, 30, 0); err == nil {
+		t.Error("unknown algorithm should fail the live run")
 	}
 }
 

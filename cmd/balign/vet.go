@@ -31,7 +31,7 @@ func runVet(args []string) int {
 		benchName = fs.String("bench", "", "use a built-in benchmark instead of -src")
 		dataset   = fs.String("dataset", "", "benchmark data set name (with -bench)")
 		all       = fs.Bool("all", false, "vet every bundled benchmark (overrides -src/-bench)")
-		alignSel  = fs.String("aligner", "all", "aligner whose layouts to vet: original, greedy, calder-grunwald, ap-patch, tsp, all")
+		alignSel  = fs.String("aligner", "all", "aligner whose layouts to vet: original, greedy, calder-grunwald, ap-patch, tsp, exttsp, all")
 		modelSel  = fs.String("model", "alpha21164", "machine model: alpha21164, shallow, deep")
 		seed      = fs.Int64("seed", 1, "solver seed")
 		bounds    = fs.Bool("bounds", true, "include the AP ≤ HK ≤ tour bound-chain check")
@@ -142,7 +142,11 @@ func printVetReport(target string, r *check.Report, verbose bool) bool {
 func pickVetAligners(sel string, seed int64) ([]align.Aligner, error) {
 	switch sel {
 	case "all":
-		return []align.Aligner{align.Original{}, align.PettisHansen{}, &align.CalderGrunwald{}, align.APPatch{}, align.NewTSP(seed)}, nil
+		all, err := pickAligners("all", seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		return append([]align.Aligner{align.Original{}}, all...), nil
 	case "original":
 		return []align.Aligner{align.Original{}}, nil
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPickVetAligners(t *testing.T) {
-	cases := map[string]int{"all": 5, "original": 1, "greedy": 1, "tsp": 1}
+	cases := map[string]int{"all": 6, "original": 1, "greedy": 1, "tsp": 1, "exttsp": 1}
 	for sel, want := range cases {
 		as, err := pickVetAligners(sel, 1)
 		if err != nil {

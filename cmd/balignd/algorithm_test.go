@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAlignAlgorithmField: the "algorithm" request field selects the
+// aligner and is echoed back resolved — an omitted field reports "tsp",
+// an explicit "exttsp" serves an ExtTSP layout from its own cache
+// partition.
+func TestAlignAlgorithmField(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{}))
+	defer ts.Close()
+
+	req := sourceRequest(3)
+	def, code := postAlign(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if def.Algorithm != "tsp" {
+		t.Errorf("default algorithm echoed %q, want tsp", def.Algorithm)
+	}
+
+	req.Algorithm = "exttsp"
+	ext, code := postAlign(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ext.Algorithm != "exttsp" {
+		t.Errorf("algorithm echoed %q, want exttsp", ext.Algorithm)
+	}
+	if ext.CacheHit || ext.Coalesced {
+		t.Error("exttsp request shared the tsp entry")
+	}
+	if ext.Penalty <= 0 {
+		t.Errorf("exttsp penalty %d, want positive", ext.Penalty)
+	}
+
+	// Same request again: its own cache entry now exists.
+	again, _ := postAlign(t, ts, req)
+	if !again.CacheHit {
+		t.Error("repeated exttsp request missed the cache")
+	}
+	if again.Penalty != ext.Penalty {
+		t.Errorf("cached penalty %d != first %d", again.Penalty, ext.Penalty)
+	}
+}
+
+// TestAlignUnknownAlgorithm: a bogus algorithm name is a 400 with the
+// structured {error, kind} body and its own discriminator.
+func TestAlignUnknownAlgorithm(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{}))
+	defer ts.Close()
+
+	req := sourceRequest(4)
+	req.Algorithm = "simulated-annealing"
+	body, code := postAlignError(t, ts, req)
+	if code != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", code)
+	}
+	if body.Kind != "unknown_algorithm" {
+		t.Errorf("kind %q, want unknown_algorithm", body.Kind)
+	}
+	if !strings.Contains(body.Error, "simulated-annealing") {
+		t.Errorf("error %q should name the offending algorithm", body.Error)
+	}
+}

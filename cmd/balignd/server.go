@@ -178,7 +178,11 @@ type alignRequest struct {
 	ProfileMode string `json:"profile_mode,omitempty"`
 
 	Model string `json:"model,omitempty"`
-	Seed  int64  `json:"seed,omitempty"`
+	// Algorithm selects the aligner by registry name ("tsp", "exttsp",
+	// "greedy", ...); empty means "tsp". Unknown names are rejected with
+	// kind "unknown_algorithm".
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
 
 	Bound        bool `json:"bound,omitempty"`
 	HKIterations int  `json:"hk_iterations,omitempty"`
@@ -210,6 +214,9 @@ type alignResponse struct {
 	// "static" (estimated; such results live in a disjoint cache
 	// partition from measured ones).
 	ProfileSource string `json:"profile_source"`
+	// Algorithm echoes the aligner that produced the layout (the request
+	// default resolved, so clients always see the concrete name).
+	Algorithm string `json:"algorithm"`
 
 	Funcs       []engine.FuncStat `json:"funcs"`
 	ElapsedMS   float64           `json:"elapsed_ms"`
@@ -233,6 +240,8 @@ func errKind(code int, err error) string {
 		return "no_profile"
 	case errors.Is(err, engine.ErrProfileConflict):
 		return "profile_conflict"
+	case errors.Is(err, engine.ErrUnknownAlgorithm):
+		return "unknown_algorithm"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "timeout"
 	}
@@ -388,6 +397,11 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		}
 	}
 
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "tsp"
+	}
+
 	var (
 		tr   *obs.Trace
 		sink *obs.MemorySink
@@ -396,7 +410,8 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 	if req.Trace {
 		sink = &obs.MemorySink{}
 		tr = obs.New(sink)
-		root = tr.Start("balignd.align", obs.String("model", model.Name), obs.Int("seed", req.Seed))
+		root = tr.Start("balignd.align", obs.String("model", model.Name),
+			obs.String("algorithm", algorithm), obs.Int("seed", req.Seed))
 		// Stamp the middleware-assigned request ID on the root span, so
 		// an access-log line leads straight to the solver trace that
 		// served it (`balign report -in` prints it back in its header).
@@ -410,6 +425,7 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		Profile:       prof,
 		StaticProfile: static,
 		Model:         model,
+		Algorithm:     algorithm,
 		Seed:          req.Seed,
 		Budget: tsp.Budget{
 			MaxKicks:        req.MaxKicks,
@@ -438,6 +454,7 @@ func (s *server) align(ctx context.Context, req alignRequest) (*alignResponse, i
 		CacheHit:        eres.CacheHit,
 		Coalesced:       eres.Coalesced,
 		ProfileSource:   "measured",
+		Algorithm:       algorithm,
 		Funcs:           eres.Funcs,
 	}
 	if eres.ProfileEstimated {

@@ -8,6 +8,7 @@
 //	experiments -fig2       same-input training/testing (Figure 2)
 //	experiments -fig3       cross-validation (Figure 3)
 //	experiments -appendix   per-procedure solver/bound statistics
+//	experiments -exttsp     aligner family judged by the I-cache simulator
 //	experiments -all        everything above
 //
 // Use -benchmarks com,xli,... to restrict the suite and -seed to change
@@ -35,7 +36,7 @@ import (
 type runOpts struct {
 	table1, table2, table3, table4 bool
 	fig2, fig3, appendix, ext, all bool
-	static                         bool
+	static, exttsp                 bool
 	seed                           int64
 	benchSel, modelSel             string
 	synth                          int
@@ -53,6 +54,7 @@ func main() {
 	flag.BoolVar(&o.appendix, "appendix", false, "per-procedure DTSP statistics (Appendix)")
 	flag.BoolVar(&o.ext, "ext", false, "extensions: cache-aware weights, procedure ordering, dynamic prediction")
 	flag.BoolVar(&o.static, "static", false, "static profile estimation: estimated vs measured vs compiler order")
+	flag.BoolVar(&o.exttsp, "exttsp", false, "aligner family judged by the I-cache simulator: control penalty vs ExtTSP score vs simulated cycles")
 	flag.BoolVar(&o.all, "all", false, "run everything")
 	flag.Int64Var(&o.seed, "seed", 1, "deterministic seed")
 	flag.StringVar(&o.benchSel, "benchmarks", "", "comma-separated benchmark names/abbrs (default: all)")
@@ -62,7 +64,7 @@ func main() {
 	flag.StringVar(&o.memProf, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.StringVar(&o.events, "events", "", "export suite telemetry (stage spans, solver convergence) as NDJSON")
 	flag.Parse()
-	if !(o.table1 || o.table2 || o.table3 || o.table4 || o.fig2 || o.fig3 || o.appendix || o.ext || o.static || o.all) {
+	if !(o.table1 || o.table2 || o.table3 || o.table4 || o.fig2 || o.fig3 || o.appendix || o.ext || o.static || o.exttsp || o.all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -190,6 +192,57 @@ func run(o runOpts) (err error) {
 			return err
 		}
 	}
+	if o.all || o.exttsp {
+		if err := printExtTSP(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printExtTSP reports the aligner-family judgment: every registered
+// aligner scored on the objective it optimizes (control penalty for the
+// DTSP line, ExtTSP locality score for the chain merger) and arbitrated
+// by the pipeline + I-cache simulator's execution time.
+func printExtTSP(s *core.Suite) error {
+	rows, err := s.ExtTSPMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Println("## ExtTSP: aligner family under the I-cache simulator")
+	fmt.Println("   (CP = control penalty, lower is better; score = ExtTSP objective,")
+	fmt.Println("    higher is better; cycles = simulated execution; norm = vs original)")
+	fmt.Println()
+	t := stats.NewTable("bench.data", "aligner", "CP", "CP norm", "score", "cycles", "cycles norm", "misses")
+	for _, r := range rows {
+		t.Rowf("%s.%s|%s|%s|%.3f|%.1f|%s|%.3f|%d", r.Bench, r.DataSet, r.Aligner,
+			stats.FormatCount(int64(r.CP)), r.CPNorm, r.Score,
+			stats.FormatCount(int64(r.Cycles)), r.CyclesNorm, r.Misses)
+	}
+	fmt.Println(t)
+
+	sums := core.SummarizeExtTSP(rows)
+	t = stats.NewTable("aligner", "mean CP norm", "mean cycles norm", "cells faster than tsp")
+	for _, sum := range sums {
+		t.Rowf("%s|%.3f|%.3f|%d/%d", sum.Aligner, sum.MeanCPNorm, sum.MeanCyclesNorm,
+			sum.CyclesWins, sum.Cells)
+	}
+	fmt.Println(t)
+	var tspSum, extSum core.ExtTSPSummary
+	for _, sum := range sums {
+		switch sum.Aligner {
+		case "tsp":
+			tspSum = sum
+		case "exttsp":
+			extSum = sum
+		}
+	}
+	verdict := "does NOT beat"
+	if extSum.MeanCyclesNorm < tspSum.MeanCyclesNorm {
+		verdict = "beats"
+	}
+	fmt.Printf("verdict: exttsp %s tsp on simulated cycles (%.3f vs %.3f normalized); control penalty %.3f vs %.3f\n\n",
+		verdict, extSum.MeanCyclesNorm, tspSum.MeanCyclesNorm, extSum.MeanCPNorm, tspSum.MeanCPNorm)
 	return nil
 }
 

@@ -203,7 +203,8 @@ func (t *TSP) alignFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opt
 func (t *TSP) SolveFunc(f *ir.Func, fp *interp.FuncProfile, m machine.Model, opts tsp.SolveOptions, seedOffset int64) AlignFuncResult {
 	n := len(f.Blocks)
 	out := AlignFuncResult{Cities: n}
-	sp := t.Obs.Child("align.func", obs.String("func", f.Name), obs.Int("cities", int64(n)))
+	sp := t.Obs.Child("align.func", obs.String("func", f.Name), obs.Int("cities", int64(n)),
+		obs.String("algorithm", "tsp"))
 	if n == 1 {
 		out.Order = []int{0}
 		out.Exact = true

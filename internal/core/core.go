@@ -38,6 +38,11 @@ type Suite struct {
 	// setting; per-function parallelism is always on and both layers
 	// share one worker pool.
 	Parallelism int
+	// Algorithms names the aligners every experiment compares, resolved
+	// through the align registry. Nil keeps the paper's trio — original,
+	// greedy (Pettis-Hansen) and tsp — so the pinned experiment goldens
+	// are unaffected by registry growth.
+	Algorithms []string
 	// HKOpts configures the Held-Karp bound.
 	HKOpts tsp.HeldKarpOptions
 	// MaxSteps bounds each profiling/tracing interpreter run.
@@ -183,18 +188,34 @@ func (s *Suite) TraceOf(b *bench.Benchmark, ds *bench.DataSet) (*pipe.Trace, err
 	return tr, nil
 }
 
-// Aligners returns the three aligners every experiment compares:
-// original, greedy (Pettis-Hansen) and TSP, in that order.
-func (s *Suite) Aligners() []align.Aligner {
-	tspAligner := align.NewTSP(s.Seed)
-	tspAligner.Parallel = true // bit-identical to sequential, faster
-	tspAligner.Opts.Parallelism = s.Parallelism
-	tspAligner.Obs = s.Obs
-	return []align.Aligner{
-		align.Original{},
-		align.PettisHansen{},
-		tspAligner,
+// alignOptions is the construction recipe every suite aligner shares.
+func (s *Suite) alignOptions() align.Options {
+	return align.Options{
+		Seed:        s.Seed,
+		Parallel:    true, // bit-identical to sequential, faster
+		Parallelism: s.Parallelism,
+		Obs:         s.Obs,
 	}
+}
+
+// Aligners returns the aligners every experiment compares — the
+// Algorithms list resolved through the registry (default: original,
+// greedy, tsp, in that order). An unknown name panics: the list is
+// experiment configuration, not user input.
+func (s *Suite) Aligners() []align.Aligner {
+	names := s.Algorithms
+	if names == nil {
+		names = []string{"original", "greedy", "tsp"}
+	}
+	out := make([]align.Aligner, 0, len(names))
+	for _, name := range names {
+		a, err := align.New(name, s.alignOptions())
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 // AlignAll produces the three layouts for a training profile. ctx
@@ -230,6 +251,37 @@ func (s *Suite) LayoutsOf(ctx context.Context, b *bench.Benchmark, ds *bench.Dat
 	ls := s.AlignAll(ctx, mod, prof)
 	s.layouts[key] = ls
 	return ls, nil
+}
+
+// LayoutFor returns (and caches) one named aligner's layout trained on
+// the given data set's profile. It shares the per-dataset cache with
+// LayoutsOf, so asking for "tsp" after LayoutsOf (or vice versa) never
+// re-solves.
+func (s *Suite) LayoutFor(ctx context.Context, b *bench.Benchmark, ds *bench.DataSet, name string) (*layout.Layout, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := dsKey(b, ds)
+	if l, ok := s.layouts[key][name]; ok {
+		return l, nil
+	}
+	mod, err := s.moduleLocked(b)
+	if err != nil {
+		return nil, err
+	}
+	prof, _, err := s.profileLocked(b, ds)
+	if err != nil {
+		return nil, err
+	}
+	a, err := align.New(name, s.alignOptions())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	l := a.Align(ctx, mod, prof, s.Model)
+	if s.layouts[key] == nil {
+		s.layouts[key] = map[string]*layout.Layout{}
+	}
+	s.layouts[key][name] = l
+	return l, nil
 }
 
 // SimulateCycles replays the recorded trace of (b, ds) under a layout

@@ -36,9 +36,10 @@ func requestKey(req Request) (string, error) {
 		}
 	}
 	// machine.Model is all scalars, so its fmt image is a faithful key
-	// component.
-	fmt.Fprintf(h, "|model=%+v|seed=%d|kicks=%d|hkiters=%d|bound=%v|iters=%d",
-		req.Model, req.Seed, req.Budget.MaxKicks, req.Budget.MaxHKIterations,
+	// component. The algorithm name is one too: different aligners are
+	// different computations over the same inputs.
+	fmt.Fprintf(h, "|model=%+v|alg=%s|seed=%d|kicks=%d|hkiters=%d|bound=%v|iters=%d",
+		req.Model, req.Algorithm, req.Seed, req.Budget.MaxKicks, req.Budget.MaxHKIterations,
 		req.Bound, req.HKIterations)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -56,6 +56,9 @@ var (
 	// asked for static estimation at the same time; the engine refuses to
 	// guess which one the caller meant.
 	ErrProfileConflict = errors.New("engine: request sets both Profile and StaticProfile")
+	// ErrUnknownAlgorithm: Request.Algorithm names no registered aligner.
+	// The returned error wraps this sentinel and lists the known names.
+	ErrUnknownAlgorithm = errors.New("engine: unknown algorithm")
 )
 
 // Options configures an Engine.
@@ -96,6 +99,14 @@ type Request struct {
 	// measured requests can never collide in the result cache — the
 	// profile mode is a structural component of the cache key.
 	StaticProfile bool
+
+	// Algorithm selects the aligner by registry name ("tsp", "exttsp",
+	// "greedy", ...); empty means "tsp". Different algorithms are
+	// different computations: the name is part of the cache key, so the
+	// same module solved under two algorithms occupies two cache entries
+	// and two concurrent requests with different algorithms never
+	// coalesce onto one solve.
+	Algorithm string
 
 	// Seed is the solver seed (function i solves with Seed+i, as the
 	// align.TSP aligner does). The zero seed is valid and deterministic.
@@ -261,6 +272,12 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 		return nil, fmt.Errorf("engine: profile has %d functions, module has %d",
 			len(req.Profile.Funcs), len(req.Module.Funcs))
 	}
+	if req.Algorithm == "" {
+		req.Algorithm = "tsp"
+	}
+	if _, err := align.New(req.Algorithm, align.Options{}); err != nil {
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownAlgorithm, req.Algorithm, align.Names())
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -276,7 +293,7 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 		if res, ok := e.cache.get(key); ok {
 			e.mu.Unlock()
 			e.met.cacheHits.Inc()
-			e.met.observe(start, req.StaticProfile, "hit")
+			e.met.observe(start, req.StaticProfile, "hit", req.Algorithm)
 			hit := *res
 			hit.CacheHit = true
 			return &hit, nil
@@ -298,12 +315,12 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 			e.met.cacheMisses.Inc()
 			res, err := e.solve(ctx, req)
 			e.finishSolve(res, err)
-			e.met.observe(start, req.StaticProfile, "miss")
+			e.met.observe(start, req.StaticProfile, "miss", req.Algorithm)
 			return res, err
 		}
 		if c.err == nil && !c.res.Truncated {
 			e.met.coalesced.Inc()
-			e.met.observe(start, req.StaticProfile, "coalesced")
+			e.met.observe(start, req.StaticProfile, "coalesced", req.Algorithm)
 			shared := *c.res
 			shared.Coalesced = true
 			return &shared, nil
@@ -328,7 +345,7 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 		e.cache.put(key, res)
 	}
 	e.mu.Unlock()
-	e.met.observe(start, req.StaticProfile, "miss")
+	e.met.observe(start, req.StaticProfile, "miss", req.Algorithm)
 	c.res, c.err = res, err
 	close(c.done)
 	return res, err
@@ -377,34 +394,80 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 		Budget:     req.Budget,
 	}
 
-	t := &align.TSP{Opts: opts, Obs: req.Obs}
+	a, err := align.New(req.Algorithm, align.Options{Seed: req.Seed, Obs: req.Obs})
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownAlgorithm, req.Algorithm, align.Names())
+	}
 	n := len(mod.Funcs)
 	orders := make([][]int, n)
 	stats := make([]FuncStat, n)
 	bounds := make([]align.FuncBoundResult, n)
 
-	// Blocking fan-out on the shared pool: at most Workers per-function
-	// solves execute concurrently across all requests, exactly like the
-	// former per-engine semaphore.
-	e.pool.Each(n, func(fi int) {
-		f := mod.Funcs[fi]
-		fr := t.SolveFunc(f, prof.Funcs[fi], req.Model, opts, int64(fi))
-		orders[fi] = fr.Order
-		stats[fi] = FuncStat{
-			Name:      f.Name,
-			Cities:    fr.Cities,
-			Order:     fr.Order,
-			Cost:      int64(fr.Cost),
-			Exact:     fr.Exact,
-			Truncated: fr.Truncated,
-			Kicks:     fr.Kicks,
-		}
+	// The Held-Karp bound is on the control penalty of ANY layout of the
+	// function, so it is meaningful (and identical) under every
+	// algorithm.
+	funcBound := func(fi int) {
 		if req.Bound {
 			ho := hkOpts
 			ho.Obs = req.Obs
-			bounds[fi] = align.FuncHeldKarpBoundResult(f, prof.Funcs[fi], req.Model, ho)
+			bounds[fi] = align.FuncHeldKarpBoundResult(mod.Funcs[fi], prof.Funcs[fi], req.Model, ho)
 		}
-	})
+	}
+
+	// Blocking fan-out on the shared pool: at most Workers per-function
+	// solves execute concurrently across all requests, exactly like the
+	// former per-engine semaphore. The TSP and ExtTSP aligners expose
+	// per-function entry points, so the engine drives the fan-out itself
+	// and gets per-function diagnostics; other registered aligners run
+	// through their module-level Align (they are all cheap linear-time
+	// heuristics).
+	switch t := a.(type) {
+	case *align.TSP:
+		t.Opts = opts
+		e.pool.Each(n, func(fi int) {
+			f := mod.Funcs[fi]
+			fr := t.SolveFunc(f, prof.Funcs[fi], req.Model, opts, int64(fi))
+			orders[fi] = fr.Order
+			stats[fi] = FuncStat{
+				Name:      f.Name,
+				Cities:    fr.Cities,
+				Order:     fr.Order,
+				Cost:      int64(fr.Cost),
+				Exact:     fr.Exact,
+				Truncated: fr.Truncated,
+				Kicks:     fr.Kicks,
+			}
+			funcBound(fi)
+		})
+	case *align.ExtTSP:
+		e.pool.Each(n, func(fi int) {
+			f := mod.Funcs[fi]
+			fr := t.AlignFunc(ctx, f, prof.Funcs[fi], req.Model)
+			orders[fi] = fr.Order
+			stats[fi] = FuncStat{
+				Name:      f.Name,
+				Cities:    fr.Cities,
+				Order:     fr.Order,
+				Cost:      int64(fr.Cost),
+				Truncated: fr.Truncated,
+			}
+			funcBound(fi)
+		})
+	default:
+		al := a.Align(ctx, mod, prof, req.Model)
+		for fi, f := range mod.Funcs {
+			orders[fi] = al.Funcs[fi].Order
+			stats[fi] = FuncStat{
+				Name:   f.Name,
+				Cities: len(f.Blocks),
+				Order:  orders[fi],
+				Cost:   int64(layout.Penalty(f, al.Funcs[fi], prof.Funcs[fi], req.Model)),
+			}
+		}
+		if req.Bound {
+			e.pool.Each(n, funcBound)
+		}
+	}
 
 	res := &Result{Funcs: stats, ProfileEstimated: req.StaticProfile}
 	l := &layout.Layout{}

@@ -14,7 +14,8 @@ import (
 // two renderings of one registry.
 //
 // Label cardinality is closed by construction: profile_mode is one of
-// {measured, static}, cache one of {hit, miss, coalesced}.
+// {measured, static}, cache one of {hit, miss, coalesced}, algorithm
+// one of the registered aligner names (a compile-time table).
 type metrics struct {
 	requests    *obs.Counter
 	cacheHits   *obs.Counter
@@ -51,8 +52,8 @@ func newMetrics(reg *obs.Registry, pool *work.Pool, entries func() float64) metr
 		errors:      reg.Counter("engine_errors_total", "Solves that failed (malformed requests are rejected before counting)."),
 		inFlight:    reg.Gauge("engine_in_flight", "Leader solves executing right now."),
 		solveDur: reg.HistogramVec("engine_solve_duration_seconds",
-			"Engine request latency by profile mode and cache outcome.",
-			solveDurMinExp, solveDurMaxExp, "profile_mode", "cache"),
+			"Engine request latency by profile mode, cache outcome and algorithm.",
+			solveDurMinExp, solveDurMaxExp, "profile_mode", "cache", "algorithm"),
 	}
 	reg.GaugeFunc("engine_cache_entries", "Completed results currently cached.", entries)
 	reg.GaugeFunc("work_pool_capacity", "Maximum concurrently executing pool tasks.",
@@ -68,11 +69,11 @@ func newMetrics(reg *obs.Registry, pool *work.Pool, entries func() float64) metr
 }
 
 // observe records one finished request's latency under its profile
-// mode and cache outcome ("hit", "miss" or "coalesced").
-func (m *metrics) observe(start time.Time, static bool, outcome string) {
+// mode, cache outcome ("hit", "miss" or "coalesced") and algorithm.
+func (m *metrics) observe(start time.Time, static bool, outcome, algorithm string) {
 	mode := "measured"
 	if static {
 		mode = "static"
 	}
-	m.solveDur.With(mode, outcome).Observe(time.Since(start).Seconds())
+	m.solveDur.With(mode, outcome, algorithm).Observe(time.Since(start).Seconds())
 }

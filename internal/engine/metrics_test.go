@@ -82,7 +82,7 @@ func TestEngineMetricsPlane(t *testing.T) {
 			t.Errorf("exposition missing %q", fam)
 		}
 	}
-	if !strings.Contains(out, `engine_solve_duration_seconds_bucket{profile_mode="measured",cache="miss",le="+Inf"} 3`) {
+	if !strings.Contains(out, `engine_solve_duration_seconds_bucket{profile_mode="measured",cache="miss",algorithm="tsp",le="+Inf"} 3`) {
 		t.Errorf("missing labeled +Inf bucket in:\n%s", out)
 	}
 }

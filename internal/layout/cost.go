@@ -33,51 +33,17 @@ func condDisplacedCost(nP, nO int64, m machine.Model) (Cost, bool) {
 // means b is last), under predictions pred and the counts in fp. For
 // fully displaced conditional branches the cheaper fixup arrangement is
 // assumed, matching what Finalize will choose — this is the quantity the
-// DTSP edge costs encode.
+// DTSP edge costs encode. It is the point form of succRow: the first
+// exception arc matching x, or the row default when none does (the
+// first-match rule is what resolves duplicate successors).
 func SuccessorCost(f *ir.Func, fp *interp.FuncProfile, pred []int, b, x int, m machine.Model) Cost {
-	blk := f.Blocks[b]
-	counts := fp.EdgeCounts[b]
-	switch blk.Term.Kind {
-	case ir.TermRet:
-		return 0
-	case ir.TermBr:
-		if blk.Term.Succs[0] == x {
-			return 0
+	def, arcs, n := succRow(f, fp, pred, b, m)
+	for i := 0; i < n; i++ {
+		if arcs[i].To == x {
+			return arcs[i].Cost
 		}
-		return counts[0] * m.JumpCost
-	case ir.TermCondBr:
-		p := pred[b]
-		nP, nO := counts[p], counts[1-p]
-		switch x {
-		case blk.Term.Succs[p]:
-			// Predicted successor falls through; the other is a
-			// mispredicted taken branch.
-			return nP*m.CondFallthroughCorrect + nO*m.CondMispredict
-		case blk.Term.Succs[1-p]:
-			// Predicted successor is a correctly predicted taken branch;
-			// the other falls through against the prediction.
-			return nP*m.CondTakenCorrect + nO*m.CondMispredict
-		default:
-			c, _ := condDisplacedCost(nP, nO, m)
-			return c
-		}
-	case ir.TermSwitch:
-		p := pred[b]
-		var total Cost
-		for si, n := range counts {
-			if si == p {
-				if blk.Term.Succs[p] == x {
-					total += n * m.MultiCorrectFallthrough
-				} else {
-					total += n * m.MultiCorrectTaken
-				}
-				continue
-			}
-			total += n * m.MultiMispredict
-		}
-		return total
 	}
-	return 0
+	return def
 }
 
 // SuccessorCostRow is the sparse form of one row of the paper's d(B, X)
@@ -94,43 +60,12 @@ func SuccessorCost(f *ir.Func, fp *interp.FuncProfile, pred []int, b, x int, m m
 // SuccessorCost(f, fp, pred, b, x, m) equals the appended cost when x is
 // listed and the default otherwise.
 func SuccessorCostRow(f *ir.Func, fp *interp.FuncProfile, pred []int, b int, m machine.Model, succs []int, costs []Cost) (Cost, []int, []Cost) {
-	blk := f.Blocks[b]
-	counts := fp.EdgeCounts[b]
-	switch blk.Term.Kind {
-	case ir.TermRet:
-		return 0, succs, costs
-	case ir.TermBr:
-		return counts[0] * m.JumpCost,
-			append(succs, blk.Term.Succs[0]),
-			append(costs, 0)
-	case ir.TermCondBr:
-		p := pred[b]
-		nP, nO := counts[p], counts[1-p]
-		def, _ := condDisplacedCost(nP, nO, m)
-		sp, so := blk.Term.Succs[p], blk.Term.Succs[1-p]
-		succs = append(succs, sp)
-		costs = append(costs, nP*m.CondFallthroughCorrect+nO*m.CondMispredict)
-		if so != sp {
-			succs = append(succs, so)
-			costs = append(costs, nP*m.CondTakenCorrect+nO*m.CondMispredict)
-		}
-		return def, succs, costs
-	case ir.TermSwitch:
-		p := pred[b]
-		var def Cost
-		for si, n := range counts {
-			if si == p {
-				def += n * m.MultiCorrectTaken
-			} else {
-				def += n * m.MultiMispredict
-			}
-		}
-		nP := counts[p]
-		return def,
-			append(succs, blk.Term.Succs[p]),
-			append(costs, def-nP*m.MultiCorrectTaken+nP*m.MultiCorrectFallthrough)
+	def, arcs, n := succRow(f, fp, pred, b, m)
+	for i := 0; i < n; i++ {
+		succs = append(succs, arcs[i].To)
+		costs = append(costs, arcs[i].Cost)
 	}
-	return 0, succs, costs
+	return def, succs, costs
 }
 
 // Event is the consequence of one dynamic execution of a block's

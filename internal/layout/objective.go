@@ -1,0 +1,188 @@
+package layout
+
+// This file is the objective layer: the closed-form successor-cost row
+// both cost surfaces (SuccessorCost, SuccessorCostRow) are derived
+// from, and the ExtTSP objective — the extended-TSP score of Newell &
+// Pupyrev (arXiv:1809.04676) that values short forward and backward
+// jumps, not only fall-throughs. The control-penalty objective is a
+// minimization over exact machine cycles; ExtTSP is a maximization over
+// a smooth locality proxy. Both are pure functions of (ir.Func,
+// interp.FuncProfile, block order), which is what lets the aligner
+// family share one pipeline.
+
+import (
+	"branchalign/internal/interp"
+	"branchalign/internal/ir"
+	"branchalign/internal/machine"
+)
+
+// succArc is one exception to a successor-cost row's default: placing
+// block To directly after the row's block costs Cost instead.
+type succArc struct {
+	To   int
+	Cost Cost
+}
+
+// succRow computes one row of the paper's d(B, X) cost table in closed
+// form: the row-constant default — the cost when the layout successor
+// is any block the terminator does not target, which is also the
+// end-of-layout cost d(B, -1) — plus at most two exception arcs (a
+// conditional branch has two successors; every other terminator has at
+// most one that matters). Duplicate successors keep first-match-wins
+// semantics: when a conditional branch targets the same block both
+// ways, only the fall-through-predicted arc is emitted, exactly as
+// SuccessorCost's case order resolves it.
+//
+// Every cost surface derives from this row: SuccessorCost(b, x) is the
+// first arc matching x (default when none matches), SuccessorCostRow
+// appends the arcs to its caller's slices, and BuildSparseMatrix stores
+// them as CSR exceptions.
+func succRow(f *ir.Func, fp *interp.FuncProfile, pred []int, b int, m machine.Model) (def Cost, arcs [2]succArc, n int) {
+	blk := f.Blocks[b]
+	counts := fp.EdgeCounts[b]
+	switch blk.Term.Kind {
+	case ir.TermRet:
+		return 0, arcs, 0
+	case ir.TermBr:
+		arcs[0] = succArc{To: blk.Term.Succs[0], Cost: 0}
+		return counts[0] * m.JumpCost, arcs, 1
+	case ir.TermCondBr:
+		p := pred[b]
+		nP, nO := counts[p], counts[1-p]
+		def, _ = condDisplacedCost(nP, nO, m)
+		sp, so := blk.Term.Succs[p], blk.Term.Succs[1-p]
+		arcs[0] = succArc{To: sp, Cost: nP*m.CondFallthroughCorrect + nO*m.CondMispredict}
+		n = 1
+		if so != sp {
+			arcs[1] = succArc{To: so, Cost: nP*m.CondTakenCorrect + nO*m.CondMispredict}
+			n = 2
+		}
+		return def, arcs, n
+	case ir.TermSwitch:
+		p := pred[b]
+		for si, cnt := range counts {
+			if si == p {
+				def += cnt * m.MultiCorrectTaken
+			} else {
+				def += cnt * m.MultiMispredict
+			}
+		}
+		nP := counts[p]
+		arcs[0] = succArc{
+			To:   blk.Term.Succs[p],
+			Cost: def - nP*m.MultiCorrectTaken + nP*m.MultiCorrectFallthrough,
+		}
+		return def, arcs, 1
+	}
+	return 0, arcs, 0
+}
+
+// ExtTSPParams parameterizes the ExtTSP objective. All windows are in
+// bytes; the zero value is invalid — use DefaultExtTSPParams.
+type ExtTSPParams struct {
+	// FallthroughWeight scores an arc whose target is laid out exactly
+	// at the end of its source (distance zero).
+	FallthroughWeight float64
+	// ForwardWeight and ForwardWindow score an arc jumping forward by
+	// 0 < d < ForwardWindow bytes as ForwardWeight·(1 − d/ForwardWindow).
+	ForwardWeight float64
+	ForwardWindow int
+	// BackwardWeight and BackwardWindow score an arc jumping backward by
+	// 0 < d < BackwardWindow bytes analogously.
+	BackwardWeight float64
+	BackwardWindow int
+}
+
+// DefaultExtTSPParams returns the constants of arXiv:1809.04676 §3 (the
+// values BOLT ships): fall-throughs at weight 1, short jumps at 0.1
+// with linear decay over a 1024-byte forward and 640-byte backward
+// window.
+func DefaultExtTSPParams() ExtTSPParams {
+	return ExtTSPParams{
+		FallthroughWeight: 1.0,
+		ForwardWeight:     0.1,
+		ForwardWindow:     1024,
+		BackwardWeight:    0.1,
+		BackwardWindow:    640,
+	}
+}
+
+// BlockBytes returns each block's byte size as the ExtTSP objective
+// models it: the instruction count plus the terminator slot, times
+// BytesPerSlot. This is deliberately layout-independent — the objective
+// scores candidate orders, so it cannot know which unconditional
+// branches will be elided or which fixup jumps inserted; it charges
+// every block its worst-case emitted size instead (the same
+// simplification BOLT makes).
+func BlockBytes(f *ir.Func) []int {
+	sizes := make([]int, len(f.Blocks))
+	for b, blk := range f.Blocks {
+		n := blk.Size()
+		if blk.Term.Kind == ir.TermBr {
+			n++ // a displaced TermBr materializes as a jump instruction
+		}
+		sizes[b] = n * BytesPerSlot
+	}
+	return sizes
+}
+
+// ArcScore is the ExtTSP kernel for one CFG arc executed w times whose
+// source ends at byte srcEnd and whose target starts at byte dst. It is
+// exported for the chain-merging aligner, whose gain computations score
+// individual arcs under candidate chain offsets.
+func ArcScore(w int64, srcEnd, dst int, p ExtTSPParams) float64 {
+	switch {
+	case dst == srcEnd:
+		return float64(w) * p.FallthroughWeight
+	case dst > srcEnd:
+		d := dst - srcEnd
+		if d >= p.ForwardWindow {
+			return 0
+		}
+		return float64(w) * p.ForwardWeight * (1 - float64(d)/float64(p.ForwardWindow))
+	default:
+		d := srcEnd - dst
+		if d >= p.BackwardWindow {
+			return 0
+		}
+		return float64(w) * p.BackwardWeight * (1 - float64(d)/float64(p.BackwardWindow))
+	}
+}
+
+// ExtTSPScore evaluates the ExtTSP objective of a block order: the sum
+// over CFG arcs of weight·kernel(distance), where the kernel pays
+// FallthroughWeight for zero-distance arcs and decays the short-jump
+// weights linearly over their windows (ArcScore). Higher is better —
+// unlike control penalty, this is a maximization objective. order must
+// be a permutation of f's blocks; arcs are summed in block/successor
+// index order, so the result is bit-deterministic.
+func ExtTSPScore(f *ir.Func, fp *interp.FuncProfile, order []int, p ExtTSPParams) float64 {
+	sizes := BlockBytes(f)
+	pos := make([]int, len(f.Blocks))
+	off := 0
+	for _, b := range order {
+		pos[b] = off
+		off += sizes[b]
+	}
+	var total float64
+	for b, blk := range f.Blocks {
+		srcEnd := pos[b] + sizes[b]
+		for si := range blk.Term.Succs {
+			w := fp.EdgeCounts[b][si]
+			if w == 0 {
+				continue
+			}
+			total += ArcScore(w, srcEnd, pos[blk.Term.Succs[si]], p)
+		}
+	}
+	return total
+}
+
+// ModuleExtTSPScore sums ExtTSPScore over all functions of a layout.
+func ModuleExtTSPScore(mod *ir.Module, l *Layout, prof *interp.Profile, p ExtTSPParams) float64 {
+	var total float64
+	for fi, f := range mod.Funcs {
+		total += ExtTSPScore(f, prof.Funcs[fi], l.Funcs[fi].Order, p)
+	}
+	return total
+}

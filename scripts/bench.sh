@@ -26,6 +26,7 @@ label=${1?"usage: scripts/bench.sh <label> [bench-regex]"}
 case "$label" in
 threeopt*) default_regex='BenchmarkLargeSolve' ;;
 parallel*) default_regex='BenchmarkSolveParallel' ;;
+exttsp*) default_regex='BenchmarkExtTSP' ;;
 *) default_regex='.' ;;
 esac
 regex=${2:-$default_regex}
