@@ -177,14 +177,16 @@ func BenchmarkHeldKarpBound(b *testing.B) {
 			tsp.HeldKarpDirected(sp, opts)
 		}
 	})
-	sf, sfp := synthFunc(b, 5000)
-	ssp := align.BuildSparseMatrixForFunc(sf, sfp, m)
 	shortOpts := tsp.HeldKarpOptions{Iterations: 10}
-	b.Run("synth5000/sparse", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			tsp.HeldKarpDirected(ssp, shortOpts)
-		}
-	})
+	for _, blocks := range []int{5000, 20000} {
+		sf, sfp := synthFunc(b, blocks)
+		ssp := align.BuildSparseMatrixForFunc(sf, sfp, m)
+		b.Run(fmt.Sprintf("synth%d/sparse", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tsp.HeldKarpDirected(ssp, shortOpts)
+			}
+		})
+	}
 }
 
 // BenchmarkLargeSolve runs nearest-neighbor construction plus a bounded

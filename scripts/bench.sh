@@ -25,8 +25,9 @@ cd "$(dirname "$0")/.."
 label=${1?"usage: scripts/bench.sh <label> [bench-regex]"}
 case "$label" in
 threeopt*) default_regex='BenchmarkLargeSolve' ;;
-parallel*) default_regex='BenchmarkSolveParallel' ;;
+parallel*) default_regex='BenchmarkSolveParallel|BenchmarkBoundParallel' ;;
 exttsp*) default_regex='BenchmarkExtTSP' ;;
+heldkarp*) default_regex='BenchmarkHeldKarpBound' ;;
 *) default_regex='.' ;;
 esac
 regex=${2:-$default_regex}
@@ -49,6 +50,10 @@ go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" -timeout 60m
 	fi
 	printf '  "commit": "%s",\n' "$commit"
 	printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
+	# The host's CPU count makes parallel-series snapshots
+	# self-describing: workers>host_cpus rows can only prove parity,
+	# never speedup.
+	printf '  "host_cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "benchmarks": [\n'
