@@ -91,14 +91,37 @@ func nearestNeighborSparse(s *SparseMatrix, start int, rng *rand.Rand) Tour {
 		city int
 		cost Cost
 	}
-	cands := make([]cand, 0, 16)
+	// Insertion into a best-3 buffer ordered by (cost, city). Candidate
+	// cities are distinct, so (cost, city) is a strict total order and
+	// the buffer holds exactly the 3 smallest candidates in sorted order
+	// — the same prefix the sort.Slice this replaced produced, without
+	// its per-step closure and interface allocations.
+	var best [3]cand
+	nbest := 0
+	add := func(c cand) {
+		k := nbest
+		if k > len(best)-1 {
+			k = len(best) - 1
+			if c.cost > best[k].cost || (c.cost == best[k].cost && c.city > best[k].city) {
+				return
+			}
+		}
+		for k > 0 && (best[k-1].cost > c.cost || (best[k-1].cost == c.cost && best[k-1].city > c.city)) {
+			best[k] = best[k-1]
+			k--
+		}
+		best[k] = c
+		if nbest < len(best) {
+			nbest++
+		}
+	}
 	for len(tour) < n {
-		cands = cands[:0]
+		nbest = 0
 		cols, vals := s.Row(cur)
 		for k, c := range cols {
 			isExc[c] = true
 			if !visited[c] {
-				cands = append(cands, cand{c, vals[k]})
+				add(cand{c, vals[k]})
 			}
 		}
 		def := s.RowDefault(cur)
@@ -107,27 +130,17 @@ func nearestNeighborSparse(s *SparseMatrix, start int, rng *rand.Rand) Tour {
 			if isExc[c] {
 				continue
 			}
-			cands = append(cands, cand{c, def})
+			add(cand{c, def})
 			taken++
 		}
 		for _, c := range cols {
 			isExc[c] = false
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].cost != cands[b].cost {
-				return cands[a].cost < cands[b].cost
-			}
-			return cands[a].city < cands[b].city
-		})
-		nbest := len(cands)
-		if nbest > 3 {
-			nbest = 3
-		}
 		pick := 0
 		if rng != nil && nbest > 1 {
 			pick = rng.Intn(nbest)
 		}
-		cur = cands[pick].city
+		cur = best[pick].city
 		visit(cur)
 		tour = append(tour, cur)
 	}

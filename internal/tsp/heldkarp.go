@@ -200,6 +200,7 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 	}
 	sp := Sparsify(c)
 	ot := newSparseOneTree(sp)
+	defer ot.release()
 	shift := float64(n) * float64(ot.L)
 	dirUB := opt.UpperBound
 	if dirUB <= 0 {

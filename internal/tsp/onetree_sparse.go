@@ -1,9 +1,8 @@
 package tsp
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"sync"
 )
 
 // sparseOneTree computes minimum 1-trees of the 2-city symmetric
@@ -19,7 +18,7 @@ import (
 // node into:
 //
 //   - explicit offers (locked partners and exception edges cheaper than
-//     their row default), kept in a lazy-deletion heap;
+//     their row default), kept in an indexed min-heap;
 //   - a default channel: every tree out-node offers def(i)+pi to every
 //     in-node, so the best such offer is a single scalar, and the best
 //     receiver is the non-tree in-node with minimum pi (a static order
@@ -35,6 +34,15 @@ import (
 // it can only be (marginally) looser than the dense reference, never
 // wrong. On branch-alignment instances the cap affects only conditional
 // taken-targets costlier than full displacement.
+//
+// The kernel is built for the subgradient loop around it: every slice
+// lives in the struct and is reused across iterates, instances are
+// pooled across calls (newSparseOneTree / release), the per-iteration
+// selection orders are re-sorted incrementally (only nodes whose pi
+// moved — those with degree != 2 in the previous 1-tree — leave their
+// old position), and instances at or below denseOneTreeCutoff nodes skip
+// the heap and orders entirely for a scan-based Prim with lower
+// constants. A full run() performs no allocations in steady state.
 type sparseOneTree struct {
 	sp *SparseMatrix
 	n  int // directed cities
@@ -52,65 +60,165 @@ type sparseOneTree struct {
 	inTree []bool
 	key    []float64 // best explicit offer per node
 	par    []int     // parent achieving key (or channel parent)
-	h      offerHeap
 
-	inByPi     []int // in-nodes (excluding node 0) by (pi, node)
-	outByDefPi []int // out-nodes by (def+pi, node)
-	outByPi    []int // out-nodes by (pi, node)
+	// dense selects the scan-based Prim: one pass over the nodes per
+	// selection step instead of heap + sorted channel orders. Same
+	// selection rule, so the two paths are bit-identical (pinned by
+	// TestSparseOneTreeDenseMatchesHeap); the cutoff is purely a
+	// constant-factor trade.
+	dense bool
+
+	// Lazy-deletion min-heaps of explicit offers, ordered by (val, node)
+	// with the keys stored inline. Entries go stale when a better offer
+	// for the same node is pushed (val > key[node]) or the node joins the
+	// tree; the selection loop pops them on sight, exactly like the
+	// container/heap implementation this replaced. Offers are split by
+	// class: locked-partner offers (≈ -L, always far below every
+	// exception offer and almost always consumed by the very next
+	// selection) live in lockH, which therefore stays a handful of
+	// entries deep; exception offers live in excH. A node's live offer is
+	// unique across both heaps — pushes strictly decrease key[node] — so
+	// taking the (val, node)-minimum of the two live tops selects exactly
+	// the single-heap minimum, and keeping the ≈N/2 transient locked
+	// offers per iterate out of excH saves a full-depth sift on each.
+	lockH pairHeap
+	excH  pairHeap
+
+	// Static per-iteration selection orders, each sorted by
+	// (orderKey, node): in-nodes (excluding node 0) by pi, out-nodes by
+	// def+pi, out-nodes by pi. The keys slices cache each node's sort
+	// key from the previous iterate, which is what makes incremental
+	// re-sorting possible: a node whose recomputed key equals its cached
+	// key kept its pi (subgradient updates move only degree != 2 nodes),
+	// so the surviving subsequence is already sorted and only the moved
+	// nodes need sorting before an O(N) merge.
+	inByPi     keyedOrder
+	outByDefPi keyedOrder
+	outByPi    keyedOrder
+	defOff     []float64 // float64(RowDefault(v/2)) per out-node v
+	havePrev   bool      // orders hold last iterate's sort
+
+	// Channel scalars: best tree-side endpoints for the channel offers.
+	bestDefOut, bestPiIn, bestPiOut          float64
+	bestDefOutArg, bestPiInArg, bestPiOutArg int
+
+	// Re-sort scratch (stable/moved split + merge source).
+	stableN, movedN []int32
+	stableK, movedK []float64
 }
 
-type offer struct {
-	val  float64
-	node int
-	par  int
+// keyedOrder is one selection order: nodes sorted by (keys[i], nodes[i]).
+type keyedOrder struct {
+	nodes []int32
+	keys  []float64
 }
 
-type offerHeap []offer
+// denseOneTreeCutoff is the node count at or below which run() uses the
+// scan-based Prim. 256 nodes = 128 blocks covers every function of the
+// bundled suite.
+const denseOneTreeCutoff = 256
 
-func (h offerHeap) Len() int { return len(h) }
-func (h offerHeap) Less(i, j int) bool {
-	if h[i].val != h[j].val {
-		return h[i].val < h[j].val
-	}
-	return h[i].node < h[j].node
-}
-func (h offerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *offerHeap) Push(x interface{}) { *h = append(*h, x.(offer)) }
-func (h *offerHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
-}
+// oneTreePool recycles kernels across bound computations, so a
+// per-function fan-out over many small instances allocates each scratch
+// slice only until the pool is warm.
+var oneTreePool = sync.Pool{New: func() any { return new(sparseOneTree) }}
 
 func newSparseOneTree(sp *SparseMatrix) *sparseOneTree {
+	t := oneTreePool.Get().(*sparseOneTree)
+	t.init(sp)
+	return t
+}
+
+// release returns the kernel's scratch to the pool. The caller must not
+// use t afterwards.
+func (t *sparseOneTree) release() {
+	t.sp = nil
+	oneTreePool.Put(t)
+}
+
+// growI32 and friends reslice s to length n, reallocating only when the
+// capacity is insufficient — the pool-friendly version of make.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+func growCost(s []Cost, n int) []Cost {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]Cost, n)
+}
+
+func (t *sparseOneTree) init(sp *SparseMatrix) {
 	n := sp.Len()
 	N := 2 * n
-	t := &sparseOneTree{
-		sp:         sp,
-		n:          n,
-		N:          N,
-		L:          sp.Forbid(),
-		pi:         make([]float64, N),
-		deg:        make([]int, N),
-		inTree:     make([]bool, N),
-		key:        make([]float64, N),
-		par:        make([]int, N),
-		inByPi:     make([]int, 0, n-1),
-		outByDefPi: make([]int, 0, n),
-		outByPi:    make([]int, 0, n),
+	t.sp, t.n, t.N, t.L = sp, n, N, sp.Forbid()
+	t.dense = N <= denseOneTreeCutoff
+
+	t.pi = growF64(t.pi, N)
+	for i := range t.pi {
+		t.pi[i] = 0
 	}
+	t.deg = growInt(t.deg, N)
+	t.inTree = growBool(t.inTree, N)
+	t.key = growF64(t.key, N)
+	t.par = growInt(t.par, N)
+	t.lockH.n = 0
+	t.excH.n = 0
+	t.havePrev = false
+
+	t.inByPi.nodes = growI32(t.inByPi.nodes, n-1)
+	t.inByPi.keys = growF64(t.inByPi.keys, n-1)
+	t.outByDefPi.nodes = growI32(t.outByDefPi.nodes, n)
+	t.outByDefPi.keys = growF64(t.outByDefPi.keys, n)
+	t.outByPi.nodes = growI32(t.outByPi.nodes, n)
+	t.outByPi.keys = growF64(t.outByPi.keys, n)
+	t.defOff = growF64(t.defOff, N)
+	for i := 0; i < n; i++ {
+		t.defOff[2*i+1] = float64(sp.RowDefault(i))
+	}
+
 	// Transpose the exception structure once.
-	t.colStart = make([]int, n+1)
+	t.colStart = growInt(t.colStart, n+1)
+	for i := range t.colStart {
+		t.colStart[i] = 0
+	}
 	for _, c := range sp.cols {
 		t.colStart[c+1]++
 	}
 	for j := 0; j < n; j++ {
 		t.colStart[j+1] += t.colStart[j]
 	}
-	t.colRows = make([]int, len(sp.cols))
-	t.colVals = make([]Cost, len(sp.cols))
-	fill := append([]int(nil), t.colStart[:n]...)
+	t.colRows = growInt(t.colRows, len(sp.cols))
+	t.colVals = growCost(t.colVals, len(sp.cols))
+	// t.par is N >= n slots and reset at every run(), so it can serve
+	// as the column fill cursor during init without an extra slice.
+	fill := growInt(t.par, n)
+	copy(fill, t.colStart[:n])
 	for i := 0; i < n; i++ {
 		cols, vals := sp.Row(i)
 		for k, c := range cols {
@@ -119,159 +227,433 @@ func newSparseOneTree(sp *SparseMatrix) *sparseOneTree {
 			fill[c]++
 		}
 	}
-	return t
 }
 
 const otUnreached = math.MaxFloat64
 
+// pairHeap is a 4-ary min-heap over (val, node) pairs stored in parallel
+// arrays, so every sift compares contiguous memory.
+type pairHeap struct {
+	keys  []float64
+	nodes []int32
+	n     int
+}
+
+// push adds an offer, sifting up by (val, node).
+func (h *pairHeap) push(val float64, node int32) {
+	i := h.n
+	h.n++
+	if i == len(h.keys) {
+		h.keys = append(h.keys, 0)
+		h.nodes = append(h.nodes, 0)
+	}
+	for i > 0 {
+		p := (i - 1) / 4
+		pk, pn := h.keys[p], h.nodes[p]
+		if !(val < pk || (val == pk && node < pn)) {
+			break
+		}
+		h.keys[i], h.nodes[i] = pk, pn
+		i = p
+	}
+	h.keys[i], h.nodes[i] = val, node
+}
+
+// pop removes the minimum offer.
+func (h *pairHeap) pop() {
+	h.n--
+	n := h.n
+	val, node := h.keys[n], h.nodes[n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		bk, bn := h.keys[c], h.nodes[c]
+		for j := c + 1; j < end; j++ {
+			if jk, jn := h.keys[j], h.nodes[j]; jk < bk || (jk == bk && jn < bn) {
+				best, bk, bn = j, jk, jn
+			}
+		}
+		if !(bk < val || (bk == val && bn < node)) {
+			break
+		}
+		h.keys[i], h.nodes[i] = bk, bn
+		i = best
+	}
+	h.keys[i], h.nodes[i] = val, node
+}
+
+// sortKeyedNodes sorts (nodes, keys) in place by (key, node): introsort
+// (median-of-three quicksort, insertion sort below 12, heapsort past the
+// depth bound). The comparison is a strict total order — node indices
+// are unique — so every correct sort yields the same permutation; this
+// one just does it without the closure and interface boxing of
+// sort.Slice.
+func sortKeyedNodes(nodes []int32, keys []float64) {
+	depth := 0
+	for x := len(nodes); x > 0; x >>= 1 {
+		depth++
+	}
+	introKeyed(nodes, keys, 2*depth)
+}
+
+func keyedLess(k1 float64, n1 int32, k2 float64, n2 int32) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return n1 < n2
+}
+
+func introKeyed(nodes []int32, keys []float64, depth int) {
+	for len(nodes) > 12 {
+		if depth == 0 {
+			heapsortKeyed(nodes, keys)
+			return
+		}
+		depth--
+		p := partitionKeyed(nodes, keys)
+		if p < len(nodes)-p-1 {
+			introKeyed(nodes[:p], keys[:p], depth)
+			nodes, keys = nodes[p+1:], keys[p+1:]
+		} else {
+			introKeyed(nodes[p+1:], keys[p+1:], depth)
+			nodes, keys = nodes[:p], keys[:p]
+		}
+	}
+	// Insertion sort for the short tail.
+	for i := 1; i < len(nodes); i++ {
+		kn, kk := nodes[i], keys[i]
+		j := i
+		for j > 0 && keyedLess(kk, kn, keys[j-1], nodes[j-1]) {
+			nodes[j], keys[j] = nodes[j-1], keys[j-1]
+			j--
+		}
+		nodes[j], keys[j] = kn, kk
+	}
+}
+
+func partitionKeyed(nodes []int32, keys []float64) int {
+	// Median-of-three pivot, moved to the end.
+	m := len(nodes) / 2
+	hi := len(nodes) - 1
+	if keyedLess(keys[m], nodes[m], keys[0], nodes[0]) {
+		nodes[m], nodes[0] = nodes[0], nodes[m]
+		keys[m], keys[0] = keys[0], keys[m]
+	}
+	if keyedLess(keys[hi], nodes[hi], keys[m], nodes[m]) {
+		nodes[hi], nodes[m] = nodes[m], nodes[hi]
+		keys[hi], keys[m] = keys[m], keys[hi]
+		if keyedLess(keys[m], nodes[m], keys[0], nodes[0]) {
+			nodes[m], nodes[0] = nodes[0], nodes[m]
+			keys[m], keys[0] = keys[0], keys[m]
+		}
+	}
+	nodes[m], nodes[hi] = nodes[hi], nodes[m]
+	keys[m], keys[hi] = keys[hi], keys[m]
+	pk, pn := keys[hi], nodes[hi]
+	w := 0
+	for i := 0; i < hi; i++ {
+		if keyedLess(keys[i], nodes[i], pk, pn) {
+			nodes[i], nodes[w] = nodes[w], nodes[i]
+			keys[i], keys[w] = keys[w], keys[i]
+			w++
+		}
+	}
+	nodes[hi], nodes[w] = nodes[w], nodes[hi]
+	keys[hi], keys[w] = keys[w], keys[hi]
+	return w
+}
+
+func heapsortKeyed(nodes []int32, keys []float64) {
+	n := len(nodes)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftKeyed(nodes, keys, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		nodes[0], nodes[i] = nodes[i], nodes[0]
+		keys[0], keys[i] = keys[i], keys[0]
+		siftKeyed(nodes, keys, 0, i)
+	}
+}
+
+func siftKeyed(nodes []int32, keys []float64, root, n int) {
+	for {
+		c := 2*root + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && keyedLess(keys[c], nodes[c], keys[c+1], nodes[c+1]) {
+			c++
+		}
+		if !keyedLess(keys[root], nodes[root], keys[c], nodes[c]) {
+			return
+		}
+		nodes[root], nodes[c] = nodes[c], nodes[root]
+		keys[root], keys[c] = keys[c], keys[root]
+		root = c
+	}
+}
+
+// fillOrders (re)builds the three selection orders for the current pi.
+// On the first iterate the node lists are materialized and fully sorted;
+// afterwards each order is re-sorted incrementally: nodes whose key is
+// unchanged (subgradient updates leave degree-2 nodes' pi untouched)
+// stay a sorted subsequence, the moved rest is sorted and merged back in
+// O(N + moved·log(moved)).
+func (t *sparseOneTree) fillOrders() {
+	if !t.havePrev {
+		in := &t.inByPi
+		for j := 1; j < t.n; j++ {
+			in.nodes[j-1] = int32(2 * j)
+			in.keys[j-1] = t.pi[2*j]
+		}
+		sortKeyedNodes(in.nodes, in.keys)
+		od, op := &t.outByDefPi, &t.outByPi
+		for i := 0; i < t.n; i++ {
+			v := int32(2*i + 1)
+			od.nodes[i] = v
+			od.keys[i] = t.defOff[v] + t.pi[v]
+			op.nodes[i] = v
+			op.keys[i] = t.pi[v]
+		}
+		sortKeyedNodes(od.nodes, od.keys)
+		sortKeyedNodes(op.nodes, op.keys)
+		t.havePrev = true
+		return
+	}
+	t.resort(&t.inByPi, false)
+	t.resort(&t.outByDefPi, true)
+	t.resort(&t.outByPi, false)
+}
+
+// resort incrementally restores o to (key, node) order after a pi
+// update. withDef adds the node's row default to the key (the outByDefPi
+// order).
+func (t *sparseOneTree) resort(o *keyedOrder, withDef bool) {
+	sn := t.stableN[:0]
+	sk := t.stableK[:0]
+	mn := t.movedN[:0]
+	mk := t.movedK[:0]
+	for i, x := range o.nodes {
+		k := t.pi[x]
+		if withDef {
+			k = t.defOff[x] + t.pi[x]
+		}
+		if k == o.keys[i] {
+			sn = append(sn, x)
+			sk = append(sk, k)
+		} else {
+			mn = append(mn, x)
+			mk = append(mk, k)
+		}
+	}
+	t.stableN, t.stableK, t.movedN, t.movedK = sn, sk, mn, mk
+	if len(mn) == 0 {
+		return
+	}
+	sortKeyedNodes(mn, mk)
+	// Merge the two sorted runs back into o.
+	i, j, w := 0, 0, 0
+	for i < len(sn) && j < len(mn) {
+		if keyedLess(sk[i], sn[i], mk[j], mn[j]) {
+			o.nodes[w], o.keys[w] = sn[i], sk[i]
+			i++
+		} else {
+			o.nodes[w], o.keys[w] = mn[j], mk[j]
+			j++
+		}
+		w++
+	}
+	for ; i < len(sn); i, w = i+1, w+1 {
+		o.nodes[w], o.keys[w] = sn[i], sk[i]
+	}
+	for ; j < len(mn); j, w = j+1, w+1 {
+		o.nodes[w], o.keys[w] = mn[j], mk[j]
+	}
+}
+
+// improve records a better explicit offer for a non-tree node in heap h
+// (the offer-class heap of the call site). The superseded heap entry, if
+// any, is left in place: it is now stale (val > key[node]) and the
+// selection loop discards it on sight.
+func (t *sparseOneTree) improve(h *pairHeap, node int, val float64, par int) {
+	if val < t.key[node] {
+		t.key[node] = val
+		t.par[node] = par
+		if !t.dense {
+			h.push(val, int32(node))
+		}
+	}
+}
+
+// join moves v into the tree: update the channel scalars and push the
+// explicit offers v now makes to non-tree nodes. v's own heap entries
+// become stale lazily.
+func (t *sparseOneTree) join(v int) {
+	pi, L := t.pi, float64(t.L)
+	t.inTree[v] = true
+	if w := v ^ 1; w != 0 && !t.inTree[w] {
+		t.improve(&t.lockH, w, -L+pi[v]+pi[w], v)
+	}
+	if v&1 == 1 { // out-node of city i
+		i := v / 2
+		if d := t.defOff[v] + pi[v]; d < t.bestDefOut {
+			t.bestDefOut, t.bestDefOutArg = d, v
+		}
+		if pi[v] < t.bestPiOut {
+			t.bestPiOut, t.bestPiOutArg = pi[v], v
+		}
+		def := float64(t.sp.RowDefault(i))
+		cols, vals := t.sp.Row(i)
+		for k, j := range cols {
+			if c := float64(vals[k]); c < def {
+				if u := 2 * j; u != 0 && !t.inTree[u] {
+					t.improve(&t.excH, u, c+pi[v]+pi[u], v)
+				}
+			}
+		}
+	} else { // in-node of city j
+		j := v / 2
+		if pi[v] < t.bestPiIn {
+			t.bestPiIn, t.bestPiInArg = pi[v], v
+		}
+		for k := t.colStart[j]; k < t.colStart[j+1]; k++ {
+			i := t.colRows[k]
+			if c := float64(t.colVals[k]); c < float64(t.sp.RowDefault(i)) {
+				if u := 2*i + 1; !t.inTree[u] {
+					t.improve(&t.excH, u, c+pi[v]+pi[u], v)
+				}
+			}
+		}
+	}
+}
+
 // run builds the minimum 1-tree under the current pi, fills deg, and
 // returns the reduced-cost weight (the same quantity oneTree returns).
 func (t *sparseOneTree) run() float64 {
-	n, N := t.n, t.N
+	N := t.N
 	pi := t.pi
-	for i := range t.deg {
+	for i := 0; i < N; i++ {
 		t.deg[i] = 0
 		t.inTree[i] = false
 		t.key[i] = otUnreached
 		t.par[i] = -1
 	}
-	t.h = t.h[:0]
-
-	// Static per-iteration selection orders.
-	t.inByPi = t.inByPi[:0]
-	t.outByDefPi = t.outByDefPi[:0]
-	t.outByPi = t.outByPi[:0]
-	for j := 1; j < n; j++ {
-		t.inByPi = append(t.inByPi, 2*j)
+	var inHead, outDefHead, outPiHead int
+	if !t.dense {
+		t.lockH.n = 0
+		t.excH.n = 0
+		t.fillOrders()
 	}
-	for i := 0; i < n; i++ {
-		t.outByDefPi = append(t.outByDefPi, 2*i+1)
-		t.outByPi = append(t.outByPi, 2*i+1)
-	}
-	sort.Slice(t.inByPi, func(a, b int) bool {
-		x, y := t.inByPi[a], t.inByPi[b]
-		if pi[x] != pi[y] {
-			return pi[x] < pi[y]
-		}
-		return x < y
-	})
-	defPi := func(out int) float64 { return float64(t.sp.RowDefault(out/2)) + pi[out] }
-	sort.Slice(t.outByDefPi, func(a, b int) bool {
-		x, y := t.outByDefPi[a], t.outByDefPi[b]
-		if defPi(x) != defPi(y) {
-			return defPi(x) < defPi(y)
-		}
-		return x < y
-	})
-	sort.Slice(t.outByPi, func(a, b int) bool {
-		x, y := t.outByPi[a], t.outByPi[b]
-		if pi[x] != pi[y] {
-			return pi[x] < pi[y]
-		}
-		return x < y
-	})
-	inHead, outDefHead, outPiHead := 0, 0, 0
-
-	// Scalar state: best tree-side endpoints for the channel offers.
-	bestDefOut, bestDefOutArg := otUnreached, -1 // min def(i)+pi over tree out-nodes
-	bestPiIn, bestPiInArg := otUnreached, -1     // min pi over tree in-nodes
-	bestPiOut, bestPiOutArg := otUnreached, -1   // min pi over tree out-nodes
+	t.bestDefOut, t.bestDefOutArg = otUnreached, -1 // min def(i)+pi over tree out-nodes
+	t.bestPiIn, t.bestPiInArg = otUnreached, -1     // min pi over tree in-nodes
+	t.bestPiOut, t.bestPiOutArg = otUnreached, -1   // min pi over tree out-nodes
 	L := float64(t.L)
 
-	improve := func(node int, val float64, par int) {
-		if val < t.key[node] {
-			t.key[node] = val
-			t.par[node] = par
-			heap.Push(&t.h, offer{val, node, par})
-		}
-	}
-	join := func(v int) {
-		t.inTree[v] = true
-		if w := v ^ 1; w != 0 && !t.inTree[w] {
-			improve(w, -L+pi[v]+pi[w], v)
-		}
-		if v&1 == 1 { // out-node of city i
-			i := v / 2
-			if d := defPi(v); d < bestDefOut {
-				bestDefOut, bestDefOutArg = d, v
-			}
-			if pi[v] < bestPiOut {
-				bestPiOut, bestPiOutArg = pi[v], v
-			}
-			def := float64(t.sp.RowDefault(i))
-			cols, vals := t.sp.Row(i)
-			for k, j := range cols {
-				if c := float64(vals[k]); c < def {
-					if u := 2 * j; u != 0 && !t.inTree[u] {
-						improve(u, c+pi[v]+pi[u], v)
-					}
-				}
-			}
-		} else { // in-node of city j
-			j := v / 2
-			if pi[v] < bestPiIn {
-				bestPiIn, bestPiInArg = pi[v], v
-			}
-			for k := t.colStart[j]; k < t.colStart[j+1]; k++ {
-				i := t.colRows[k]
-				if c := float64(t.colVals[k]); c < float64(t.sp.RowDefault(i)) {
-					if u := 2*i + 1; !t.inTree[u] {
-						improve(u, c+pi[v]+pi[u], v)
-					}
-				}
-			}
-		}
-	}
-
 	total := 0.0
-	join(1) // Prim starts at out_0, as the dense oneTree starts at node 1
+	t.join(1) // Prim starts at out_0, as the dense oneTree starts at node 1
 	for count := 1; count < N-1; count++ {
-		// Candidate 1: best explicit offer (lazy-deletion heap).
+		// Candidate 1: best explicit offer; candidates 2-4: the channel
+		// offers into their statically best receivers.
 		var bestVal = otUnreached
 		var bestNode, bestPar = -1, -1
-		for len(t.h) > 0 {
-			top := t.h[0]
-			if t.inTree[top.node] || top.val > t.key[top.node] {
-				heap.Pop(&t.h)
-				continue
+		var inArg, outDefArg, outPiArg = -1, -1, -1
+		if t.dense {
+			// One scan finds the best explicit offer and the channel
+			// receivers: the non-tree in-node minimizing (pi, node) and
+			// the non-tree out-nodes minimizing (def+pi, node) and
+			// (pi, node). Ascending node order makes "first strict
+			// minimum" the exact tie-break the sorted orders encode.
+			var inKey, outDefKey, outPiKey float64
+			for v := 1; v < N; v++ {
+				if t.inTree[v] {
+					continue
+				}
+				if t.key[v] < bestVal {
+					bestVal, bestNode, bestPar = t.key[v], v, t.par[v]
+				}
+				if v&1 == 0 { // in-node (node 0 excluded by the loop start)
+					if inArg < 0 || pi[v] < inKey {
+						inKey, inArg = pi[v], v
+					}
+				} else {
+					if d := t.defOff[v] + pi[v]; outDefArg < 0 || d < outDefKey {
+						outDefKey, outDefArg = d, v
+					}
+					if outPiArg < 0 || pi[v] < outPiKey {
+						outPiKey, outPiArg = pi[v], v
+					}
+				}
 			}
-			bestVal, bestNode, bestPar = top.val, top.node, top.par
-			break
+		} else {
+			for t.lockH.n > 0 {
+				v := int(t.lockH.nodes[0])
+				if t.inTree[v] || t.lockH.keys[0] > t.key[v] {
+					t.lockH.pop()
+					continue
+				}
+				bestVal, bestNode, bestPar = t.lockH.keys[0], v, t.par[v]
+				break
+			}
+			for t.excH.n > 0 {
+				v := int(t.excH.nodes[0])
+				if t.inTree[v] || t.excH.keys[0] > t.key[v] {
+					t.excH.pop()
+					continue
+				}
+				if val := t.excH.keys[0]; val < bestVal || (val == bestVal && v < bestNode) {
+					bestVal, bestNode, bestPar = val, v, t.par[v]
+				}
+				break
+			}
+			for inHead < len(t.inByPi.nodes) && t.inTree[t.inByPi.nodes[inHead]] {
+				inHead++
+			}
+			if inHead < len(t.inByPi.nodes) {
+				inArg = int(t.inByPi.nodes[inHead])
+			}
+			for outDefHead < len(t.outByDefPi.nodes) && t.inTree[t.outByDefPi.nodes[outDefHead]] {
+				outDefHead++
+			}
+			if outDefHead < len(t.outByDefPi.nodes) {
+				outDefArg = int(t.outByDefPi.nodes[outDefHead])
+			}
+			for outPiHead < len(t.outByPi.nodes) && t.inTree[t.outByPi.nodes[outPiHead]] {
+				outPiHead++
+			}
+			if outPiHead < len(t.outByPi.nodes) {
+				outPiArg = int(t.outByPi.nodes[outPiHead])
+			}
 		}
 		// Candidate 2: default/forbidden edge into the min-pi in-node.
-		for inHead < len(t.inByPi) && t.inTree[t.inByPi[inHead]] {
-			inHead++
-		}
-		if inHead < len(t.inByPi) {
-			v := t.inByPi[inHead]
-			ch, par := bestDefOut, bestDefOutArg
-			if fb := L + bestPiIn; fb < ch {
-				ch, par = fb, bestPiInArg
+		if inArg >= 0 {
+			ch, par := t.bestDefOut, t.bestDefOutArg
+			if fb := L + t.bestPiIn; fb < ch {
+				ch, par = fb, t.bestPiInArg
 			}
 			if ch < otUnreached {
-				if val := ch + pi[v]; val < bestVal || (val == bestVal && v < bestNode) {
-					bestVal, bestNode, bestPar = val, v, par
+				if val := ch + pi[inArg]; val < bestVal || (val == bestVal && inArg < bestNode) {
+					bestVal, bestNode, bestPar = val, inArg, par
 				}
 			}
 		}
 		// Candidate 3: default edge into the min-(def+pi) out-node.
-		for outDefHead < len(t.outByDefPi) && t.inTree[t.outByDefPi[outDefHead]] {
-			outDefHead++
-		}
-		if outDefHead < len(t.outByDefPi) && bestPiIn < otUnreached {
-			v := t.outByDefPi[outDefHead]
-			if val := defPi(v) + bestPiIn; val < bestVal || (val == bestVal && v < bestNode) {
-				bestVal, bestNode, bestPar = val, v, bestPiInArg
+		if outDefArg >= 0 && t.bestPiIn < otUnreached {
+			if val := t.defOff[outDefArg] + pi[outDefArg] + t.bestPiIn; val < bestVal || (val == bestVal && outDefArg < bestNode) {
+				bestVal, bestNode, bestPar = val, outDefArg, t.bestPiInArg
 			}
 		}
 		// Candidate 4: forbidden edge into the min-pi out-node.
-		for outPiHead < len(t.outByPi) && t.inTree[t.outByPi[outPiHead]] {
-			outPiHead++
-		}
-		if outPiHead < len(t.outByPi) && bestPiOut < otUnreached {
-			v := t.outByPi[outPiHead]
-			if val := L + bestPiOut + pi[v]; val < bestVal || (val == bestVal && v < bestNode) {
-				bestVal, bestNode, bestPar = val, v, bestPiOutArg
+		if outPiArg >= 0 && t.bestPiOut < otUnreached {
+			if val := L + t.bestPiOut + pi[outPiArg]; val < bestVal || (val == bestVal && outPiArg < bestNode) {
+				bestVal, bestNode, bestPar = val, outPiArg, t.bestPiOutArg
 			}
 		}
 		if bestNode < 0 {
@@ -280,7 +662,7 @@ func (t *sparseOneTree) run() float64 {
 		total += bestVal
 		t.deg[bestNode]++
 		t.deg[bestPar]++
-		join(bestNode)
+		t.join(bestNode)
 	}
 
 	// Two cheapest edges incident to node 0 (in_0), at true costs.

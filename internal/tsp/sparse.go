@@ -2,6 +2,7 @@ package tsp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -205,13 +206,18 @@ func Sparsify(c Costs) *SparseMatrix {
 		b.AddRow(0, nil, nil)
 		return b.Finish()
 	}
+	// Row scratch, reused across rows: AddRow copies its arguments, and
+	// Sparsify sits on the per-function bound path where per-row makes
+	// add up across a module's worth of small instances.
+	ec := make([]int, 0, n-1)
+	ev := make([]Cost, 0, n-1)
+	var elect electScratch
 	if s, ok := c.(*SparseMatrix); ok {
 		for i := 0; i < n; i++ {
 			cols, vals := s.Row(i)
-			def := electDefault(s.def[i], Cost(n-1-len(cols)), vals)
+			def := elect.mostFrequent(s.def[i], Cost(n-1-len(cols)), vals)
 			if def == s.def[i] {
-				ec := make([]int, 0, len(cols))
-				ev := make([]Cost, 0, len(cols))
+				ec, ev = ec[:0], ev[:0]
 				for k, c := range cols {
 					if vals[k] != def {
 						ec = append(ec, c)
@@ -224,8 +230,7 @@ func Sparsify(c Costs) *SparseMatrix {
 			// The elected default was an exception value, which can only
 			// happen when exceptions dominate the row; rebuilding the row
 			// by scanning all columns stays O(exceptions) amortized.
-			ec := make([]int, 0, n-1)
-			ev := make([]Cost, 0, n-1)
+			ec, ev = ec[:0], ev[:0]
 			k := 0
 			for j := 0; j < n; j++ {
 				if j == i {
@@ -255,10 +260,9 @@ func Sparsify(c Costs) *SparseMatrix {
 		}
 		var def Cost
 		if len(vals) > 0 {
-			def = electDefault(vals[0], 0, vals)
+			def = elect.mostFrequent(vals[0], 0, vals)
 		}
-		ec := make([]int, 0, n-1)
-		ev := make([]Cost, 0, n-1)
+		ec, ev = ec[:0], ev[:0]
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
@@ -273,22 +277,41 @@ func Sparsify(c Costs) *SparseMatrix {
 	return b.Finish()
 }
 
-// electDefault picks the most frequent value among a default value with
+// electScratch holds the sorted-copy buffer mostFrequent reuses across
+// rows (the map-based counting this replaced allocated per row).
+type electScratch struct {
+	sorted []Cost
+}
+
+// mostFrequent picks the most frequent value among a default value with
 // multiplicity defCount and the exception values; ties prefer the
-// smallest value.
-func electDefault(def Cost, defCount Cost, vals []Cost) Cost {
-	counts := make(map[Cost]Cost, len(vals)+1)
-	if defCount > 0 {
-		counts[def] = defCount
-	}
-	for _, v := range vals {
-		counts[v]++
-	}
+// smallest value. The argmax comparison starts at (def, count -1) and
+// candidates form a set, so the result does not depend on scan order —
+// it is the same value the map-based counting used to elect.
+func (e *electScratch) mostFrequent(def Cost, defCount Cost, vals []Cost) Cost {
+	e.sorted = append(e.sorted[:0], vals...)
+	slices.Sort(e.sorted)
 	best, bestCount := def, Cost(-1)
-	//balignlint:ignore order-independent: argmax with a total tie-break (count, then value)
-	for v, cnt := range counts {
+	sawDef := false
+	for i := 0; i < len(e.sorted); {
+		v := e.sorted[i]
+		j := i + 1
+		for j < len(e.sorted) && e.sorted[j] == v {
+			j++
+		}
+		cnt := Cost(j - i)
+		if v == def && defCount > 0 {
+			cnt += defCount
+			sawDef = true
+		}
 		if cnt > bestCount || (cnt == bestCount && v < best) {
 			best, bestCount = v, cnt
+		}
+		i = j
+	}
+	if !sawDef && defCount > 0 {
+		if defCount > bestCount || (defCount == bestCount && def < best) {
+			best, bestCount = def, defCount
 		}
 	}
 	return best
