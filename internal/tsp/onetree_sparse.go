@@ -18,7 +18,7 @@ import (
 // node into:
 //
 //   - explicit offers (locked partners and exception edges cheaper than
-//     their row default), kept in an indexed min-heap;
+//     their row default), kept in lazy-deletion min-heaps;
 //   - a default channel: every tree out-node offers def(i)+pi to every
 //     in-node, so the best such offer is a single scalar, and the best
 //     receiver is the non-tree in-node with minimum pi (a static order
@@ -49,10 +49,19 @@ type sparseOneTree struct {
 	N  int // symmetric nodes
 	L  Cost
 
-	// Column-major view of the exceptions (built once; pi-independent).
-	colStart []int
-	colRows  []int
-	colVals  []Cost
+	// Join adjacency, prefiltered once per init (it is pi-independent):
+	// for each city, the exception offers its out-node (rowAdj*) and its
+	// in-node (colAdj*) make on joining the tree, with the receiving
+	// symmetric node and the float64 edge cost precomputed. Exceptions at
+	// or above their row default are capped away here instead of being
+	// re-filtered on every join, and offers into node 0 are dropped
+	// (node 0 is closed separately at the end of run).
+	rowAdjStart []int
+	rowAdjU     []int32
+	rowAdjC     []float64
+	colAdjStart []int
+	colAdjU     []int32
+	colAdjC     []float64
 
 	pi  []float64
 	deg []int
@@ -86,21 +95,45 @@ type sparseOneTree struct {
 
 	// Static per-iteration selection orders, each sorted by
 	// (orderKey, node): in-nodes (excluding node 0) by pi, out-nodes by
-	// def+pi, out-nodes by pi. The keys slices cache each node's sort
-	// key from the previous iterate, which is what makes incremental
-	// re-sorting possible: a node whose recomputed key equals its cached
-	// key kept its pi (subgradient updates move only degree != 2 nodes),
-	// so the surviving subsequence is already sorted and only the moved
-	// nodes need sorting before an O(N) merge.
+	// def+pi. The keys slices cache each node's sort key from the
+	// previous iterate, which is what makes incremental re-sorting
+	// possible: a node whose recomputed key equals its cached key kept
+	// its pi (subgradient updates move only degree != 2 nodes), so the
+	// surviving subsequence is already sorted and only the moved nodes
+	// need sorting before an O(N) merge.
+	//
+	// The forbidden-edge channel (candidate 4) needs the min-pi non-tree
+	// out-node, but its offers cost at least L, so instead of a third
+	// sorted order it keeps minOutPi — the minimum pi over ALL out-nodes
+	// this iterate, a lower bound on the candidate's value — and only
+	// scans for the exact receiver on the (degenerate) selections where
+	// that bound does not already lose.
 	inByPi     keyedOrder
 	outByDefPi keyedOrder
-	outByPi    keyedOrder
+	minOutPi   float64
 	defOff     []float64 // float64(RowDefault(v/2)) per out-node v
 	havePrev   bool      // orders hold last iterate's sort
 
 	// Channel scalars: best tree-side endpoints for the channel offers.
 	bestDefOut, bestPiIn, bestPiOut          float64
 	bestDefOutArg, bestPiInArg, bestPiOutArg int
+
+	// Locked-partner fusion. Roughly half of all selections consume the
+	// -L locked offer created by the immediately preceding join; each
+	// used to cost a heap push, a full candidate evaluation, and a heap
+	// pop. fuseG is a per-iterate lower bound on every non-locked
+	// candidate value: exception offers are >= minAdjC + 2·minPi and the
+	// channel candidates are >= min(minDefOff, L) + 2·minPi, so
+	// fuseG = min(minAdjC, minDefOff, L) + 2·minPi. A locked offer
+	// strictly below fuseG is strictly below every competitor at the
+	// next selection — no tie-break can arise — so join records it in
+	// fused and the selection loop joins the partner immediately,
+	// bypassing the heaps and candidates; offers at or above fuseG take
+	// the general lockH path. minAdjC and minDefOff are static per
+	// instance; minPi is refreshed each run.
+	minAdjC, minDefOff float64
+	fuseG              float64
+	fused              int
 
 	// Re-sort scratch (stable/moved split + merge source).
 	stableN, movedN []int32
@@ -195,75 +228,120 @@ func (t *sparseOneTree) init(sp *SparseMatrix) {
 	t.inByPi.keys = growF64(t.inByPi.keys, n-1)
 	t.outByDefPi.nodes = growI32(t.outByDefPi.nodes, n)
 	t.outByDefPi.keys = growF64(t.outByDefPi.keys, n)
-	t.outByPi.nodes = growI32(t.outByPi.nodes, n)
-	t.outByPi.keys = growF64(t.outByPi.keys, n)
 	t.defOff = growF64(t.defOff, N)
+	t.minDefOff = otUnreached
 	for i := 0; i < n; i++ {
-		t.defOff[2*i+1] = float64(sp.RowDefault(i))
+		d := float64(sp.RowDefault(i))
+		t.defOff[2*i+1] = d
+		if d < t.minDefOff {
+			t.minDefOff = d
+		}
 	}
 
-	// Transpose the exception structure once.
-	t.colStart = growInt(t.colStart, n+1)
-	for i := range t.colStart {
-		t.colStart[i] = 0
+	// Row-side join adjacency: the useful exception offers of each
+	// out-node, filtered and converted once.
+	rU, rC := t.rowAdjU[:0], t.rowAdjC[:0]
+	t.rowAdjStart = growInt(t.rowAdjStart, n+1)
+	t.colAdjStart = growInt(t.colAdjStart, n+1)
+	for j := 0; j <= n; j++ {
+		t.colAdjStart[j] = 0
 	}
-	for _, c := range sp.cols {
-		t.colStart[c+1]++
-	}
-	for j := 0; j < n; j++ {
-		t.colStart[j+1] += t.colStart[j]
-	}
-	t.colRows = growInt(t.colRows, len(sp.cols))
-	t.colVals = growCost(t.colVals, len(sp.cols))
-	// t.par is N >= n slots and reset at every run(), so it can serve
-	// as the column fill cursor during init without an extra slice.
-	fill := growInt(t.par, n)
-	copy(fill, t.colStart[:n])
+	t.minAdjC = otUnreached
 	for i := 0; i < n; i++ {
+		t.rowAdjStart[i] = len(rU)
+		def := float64(sp.RowDefault(i))
 		cols, vals := sp.Row(i)
-		for k, c := range cols {
-			t.colRows[fill[c]] = i
-			t.colVals[fill[c]] = vals[k]
-			fill[c]++
+		for k, j := range cols {
+			if c := float64(vals[k]); c < def {
+				t.colAdjStart[j+1]++
+				if c < t.minAdjC {
+					t.minAdjC = c
+				}
+				if j != 0 {
+					rU = append(rU, int32(2*j))
+					rC = append(rC, c)
+				}
+			}
+		}
+	}
+	t.rowAdjStart[n] = len(rU)
+	t.rowAdjU, t.rowAdjC = rU, rC
+	// Column-side join adjacency: counting sort of the same filtered
+	// entries by column. t.par is N >= n slots and reset at every run(),
+	// so it can serve as the per-column fill cursor without an extra
+	// slice.
+	for j := 0; j < n; j++ {
+		t.colAdjStart[j+1] += t.colAdjStart[j]
+	}
+	t.colAdjU = growI32(t.colAdjU, t.colAdjStart[n])
+	t.colAdjC = growF64(t.colAdjC, t.colAdjStart[n])
+	fill := growInt(t.par, n)
+	copy(fill, t.colAdjStart[:n])
+	for i := 0; i < n; i++ {
+		def := float64(sp.RowDefault(i))
+		cols, vals := sp.Row(i)
+		for k, j := range cols {
+			if c := float64(vals[k]); c < def {
+				t.colAdjU[fill[j]] = int32(2*i + 1)
+				t.colAdjC[fill[j]] = c
+				fill[j]++
+			}
 		}
 	}
 }
 
 const otUnreached = math.MaxFloat64
 
-// pairHeap is a 4-ary min-heap over (val, node) pairs stored in parallel
-// arrays, so every sift compares contiguous memory.
+// heapEnt is one heap entry. Key and node sit in the same 16 bytes, so
+// a sift touches one cache line per entry instead of one in a keys
+// array plus one in a nodes array — on heaps that outgrow L1 the pop
+// cost is cache misses, not comparisons.
+type heapEnt struct {
+	key  float64
+	node int32
+}
+
+// pairHeap is a 4-ary min-heap over (val, node) pairs.
 type pairHeap struct {
-	keys  []float64
-	nodes []int32
-	n     int
+	ents []heapEnt
+	n    int
 }
 
 // push adds an offer, sifting up by (val, node).
 func (h *pairHeap) push(val float64, node int32) {
 	i := h.n
 	h.n++
-	if i == len(h.keys) {
-		h.keys = append(h.keys, 0)
-		h.nodes = append(h.nodes, 0)
+	if i == len(h.ents) {
+		h.ents = append(h.ents, heapEnt{})
 	}
+	e := h.ents
 	for i > 0 {
 		p := (i - 1) / 4
-		pk, pn := h.keys[p], h.nodes[p]
-		if !(val < pk || (val == pk && node < pn)) {
+		pe := e[p]
+		if !(val < pe.key || (val == pe.key && node < pe.node)) {
 			break
 		}
-		h.keys[i], h.nodes[i] = pk, pn
+		e[i] = pe
 		i = p
 	}
-	h.keys[i], h.nodes[i] = val, node
+	e[i] = heapEnt{key: val, node: node}
 }
 
-// pop removes the minimum offer.
+// pop removes the minimum offer. Floyd's bottom-up variant: the hole at
+// the root walks down to a leaf along minimum children, then the last
+// element drops in and sifts up. The replacement comes from the bottom
+// of the heap, so it nearly always belongs near the bottom again and
+// the upward pass is shorter than the replacement-vs-children compare
+// the classic top-down loop pays at every level. The heap's internal
+// layout after a pop may differ from the top-down result, but every
+// stored (val, node) pair is distinct — a node's pushes strictly
+// decrease its key — so the minimum, which is all the selection loop
+// reads, is the same.
 func (h *pairHeap) pop() {
 	h.n--
 	n := h.n
-	val, node := h.keys[n], h.nodes[n]
+	e := h.ents
+	last := e[n]
 	i := 0
 	for {
 		c := 4*i + 1
@@ -275,19 +353,25 @@ func (h *pairHeap) pop() {
 			end = n
 		}
 		best := c
-		bk, bn := h.keys[c], h.nodes[c]
+		be := e[c]
 		for j := c + 1; j < end; j++ {
-			if jk, jn := h.keys[j], h.nodes[j]; jk < bk || (jk == bk && jn < bn) {
-				best, bk, bn = j, jk, jn
+			if je := e[j]; je.key < be.key || (je.key == be.key && je.node < be.node) {
+				best, be = j, je
 			}
 		}
-		if !(bk < val || (bk == val && bn < node)) {
-			break
-		}
-		h.keys[i], h.nodes[i] = bk, bn
+		e[i] = be
 		i = best
 	}
-	h.keys[i], h.nodes[i] = val, node
+	for i > 0 {
+		p := (i - 1) / 4
+		pe := e[p]
+		if !(last.key < pe.key || (last.key == pe.key && last.node < pe.node)) {
+			break
+		}
+		e[i] = pe
+		i = p
+	}
+	e[i] = last
 }
 
 // sortKeyedNodes sorts (nodes, keys) in place by (key, node): introsort
@@ -401,7 +485,7 @@ func siftKeyed(nodes []int32, keys []float64, root, n int) {
 	}
 }
 
-// fillOrders (re)builds the three selection orders for the current pi.
+// fillOrders (re)builds the selection orders for the current pi.
 // On the first iterate the node lists are materialized and fully sorted;
 // afterwards each order is re-sorted incrementally: nodes whose key is
 // unchanged (subgradient updates leave degree-2 nodes' pi untouched)
@@ -415,22 +499,18 @@ func (t *sparseOneTree) fillOrders() {
 			in.keys[j-1] = t.pi[2*j]
 		}
 		sortKeyedNodes(in.nodes, in.keys)
-		od, op := &t.outByDefPi, &t.outByPi
+		od := &t.outByDefPi
 		for i := 0; i < t.n; i++ {
 			v := int32(2*i + 1)
 			od.nodes[i] = v
 			od.keys[i] = t.defOff[v] + t.pi[v]
-			op.nodes[i] = v
-			op.keys[i] = t.pi[v]
 		}
 		sortKeyedNodes(od.nodes, od.keys)
-		sortKeyedNodes(op.nodes, op.keys)
 		t.havePrev = true
 		return
 	}
 	t.resort(&t.inByPi, false)
 	t.resort(&t.outByDefPi, true)
-	t.resort(&t.outByPi, false)
 }
 
 // resort incrementally restores o to (key, node) order after a pi
@@ -479,18 +559,42 @@ func (t *sparseOneTree) resort(o *keyedOrder, withDef bool) {
 	}
 }
 
-// improve records a better explicit offer for a non-tree node in heap h
-// (the offer-class heap of the call site). The superseded heap entry, if
-// any, is left in place: it is now stale (val > key[node]) and the
-// selection loop discards it on sight.
-func (t *sparseOneTree) improve(h *pairHeap, node int, val float64, par int) {
-	if val < t.key[node] {
-		t.key[node] = val
-		t.par[node] = par
-		if !t.dense {
-			h.push(val, int32(node))
-		}
+// improve records a better exception offer for a non-tree node. The
+// superseded heap entry, if any, is left in place: it is now stale
+// (val > key[node]) and the selection loop discards it on sight.
+//
+// Channel-dominated offers skip the heap entirely. An in-node u always
+// has the default channel open at bestDefOut + pi[u], and bestDefOut
+// only decreases as the tree grows, while the channel's receiver — the
+// inByPi head h — satisfies pi[h] <= pi[u] as long as u is out of the
+// tree. So when val > bestDefOut + pi[u] holds now, candidate 2 beats
+// this offer strictly at every later selection and the offer can never
+// be the selected minimum; pushing it would only produce a stale pop.
+// Out-nodes are symmetric via candidate 3: the outByDefPi head o has
+// defOff[o] + pi[o] <= defOff[u] + pi[u], and bestPiIn only decreases,
+// so offers with val > defOff[u] + pi[u] + bestPiIn are likewise never
+// selected (before the first in-node joins, bestPiIn is +inf and
+// nothing is pruned). key and par are still updated — the lazy-deletion
+// staleness rule and the dense scan read them — and ties are kept: only
+// strictly dominated offers are dropped, so no (val, node) comparison
+// anywhere changes its outcome.
+func (t *sparseOneTree) improve(node int, val float64, par int) {
+	if val >= t.key[node] {
+		return
 	}
+	t.key[node] = val
+	t.par[node] = par
+	if t.dense {
+		return
+	}
+	if node&1 == 0 {
+		if val > t.bestDefOut+t.pi[node] {
+			return
+		}
+	} else if val > t.defOff[node]+t.pi[node]+t.bestPiIn {
+		return
+	}
+	t.excH.push(val, int32(node))
 }
 
 // join moves v into the tree: update the channel scalars and push the
@@ -500,36 +604,38 @@ func (t *sparseOneTree) join(v int) {
 	pi, L := t.pi, float64(t.L)
 	t.inTree[v] = true
 	if w := v ^ 1; w != 0 && !t.inTree[w] {
-		t.improve(&t.lockH, w, -L+pi[v]+pi[w], v)
+		if val := -L + pi[v] + pi[w]; val < t.key[w] {
+			t.key[w] = val
+			t.par[w] = v
+			if !t.dense {
+				if val < t.fuseG {
+					t.fused = w
+				} else {
+					t.lockH.push(val, int32(w))
+				}
+			}
+		}
 	}
+	i := v >> 1
 	if v&1 == 1 { // out-node of city i
-		i := v / 2
 		if d := t.defOff[v] + pi[v]; d < t.bestDefOut {
 			t.bestDefOut, t.bestDefOutArg = d, v
 		}
 		if pi[v] < t.bestPiOut {
 			t.bestPiOut, t.bestPiOutArg = pi[v], v
 		}
-		def := float64(t.sp.RowDefault(i))
-		cols, vals := t.sp.Row(i)
-		for k, j := range cols {
-			if c := float64(vals[k]); c < def {
-				if u := 2 * j; u != 0 && !t.inTree[u] {
-					t.improve(&t.excH, u, c+pi[v]+pi[u], v)
-				}
+		for k := t.rowAdjStart[i]; k < t.rowAdjStart[i+1]; k++ {
+			if u := int(t.rowAdjU[k]); !t.inTree[u] {
+				t.improve(u, t.rowAdjC[k]+pi[v]+pi[u], v)
 			}
 		}
-	} else { // in-node of city j
-		j := v / 2
+	} else { // in-node of city i
 		if pi[v] < t.bestPiIn {
 			t.bestPiIn, t.bestPiInArg = pi[v], v
 		}
-		for k := t.colStart[j]; k < t.colStart[j+1]; k++ {
-			i := t.colRows[k]
-			if c := float64(t.colVals[k]); c < float64(t.sp.RowDefault(i)) {
-				if u := 2*i + 1; !t.inTree[u] {
-					t.improve(&t.excH, u, c+pi[v]+pi[u], v)
-				}
+		for k := t.colAdjStart[i]; k < t.colAdjStart[i+1]; k++ {
+			if u := int(t.colAdjU[k]); !t.inTree[u] {
+				t.improve(u, t.colAdjC[k]+pi[v]+pi[u], v)
 			}
 		}
 	}
@@ -546,11 +652,30 @@ func (t *sparseOneTree) run() float64 {
 		t.key[i] = otUnreached
 		t.par[i] = -1
 	}
-	var inHead, outDefHead, outPiHead int
+	var inHead, outDefHead int
+	t.fused = -1
 	if !t.dense {
 		t.lockH.n = 0
 		t.excH.n = 0
 		t.fillOrders()
+		t.minOutPi = otUnreached
+		minPi := otUnreached
+		for v := 0; v < N; v++ {
+			if pi[v] < minPi {
+				minPi = pi[v]
+			}
+			if v&1 == 1 && pi[v] < t.minOutPi {
+				t.minOutPi = pi[v]
+			}
+		}
+		g := t.minAdjC
+		if t.minDefOff < g {
+			g = t.minDefOff
+		}
+		if fb := float64(t.L); fb < g {
+			g = fb
+		}
+		t.fuseG = g + 2*minPi
 	}
 	t.bestDefOut, t.bestDefOutArg = otUnreached, -1 // min def(i)+pi over tree out-nodes
 	t.bestPiIn, t.bestPiInArg = otUnreached, -1     // min pi over tree in-nodes
@@ -594,21 +719,23 @@ func (t *sparseOneTree) run() float64 {
 			}
 		} else {
 			for t.lockH.n > 0 {
-				v := int(t.lockH.nodes[0])
-				if t.inTree[v] || t.lockH.keys[0] > t.key[v] {
+				top := t.lockH.ents[0]
+				v := int(top.node)
+				if t.inTree[v] || top.key > t.key[v] {
 					t.lockH.pop()
 					continue
 				}
-				bestVal, bestNode, bestPar = t.lockH.keys[0], v, t.par[v]
+				bestVal, bestNode, bestPar = top.key, v, t.par[v]
 				break
 			}
 			for t.excH.n > 0 {
-				v := int(t.excH.nodes[0])
-				if t.inTree[v] || t.excH.keys[0] > t.key[v] {
+				top := t.excH.ents[0]
+				v := int(top.node)
+				if t.inTree[v] || top.key > t.key[v] {
 					t.excH.pop()
 					continue
 				}
-				if val := t.excH.keys[0]; val < bestVal || (val == bestVal && v < bestNode) {
+				if val := top.key; val < bestVal || (val == bestVal && v < bestNode) {
 					bestVal, bestNode, bestPar = val, v, t.par[v]
 				}
 				break
@@ -624,12 +751,6 @@ func (t *sparseOneTree) run() float64 {
 			}
 			if outDefHead < len(t.outByDefPi.nodes) {
 				outDefArg = int(t.outByDefPi.nodes[outDefHead])
-			}
-			for outPiHead < len(t.outByPi.nodes) && t.inTree[t.outByPi.nodes[outPiHead]] {
-				outPiHead++
-			}
-			if outPiHead < len(t.outByPi.nodes) {
-				outPiArg = int(t.outByPi.nodes[outPiHead])
 			}
 		}
 		// Candidate 2: default/forbidden edge into the min-pi in-node.
@@ -650,10 +771,31 @@ func (t *sparseOneTree) run() float64 {
 				bestVal, bestNode, bestPar = val, outDefArg, t.bestPiInArg
 			}
 		}
-		// Candidate 4: forbidden edge into the min-pi out-node.
-		if outPiArg >= 0 && t.bestPiOut < otUnreached {
-			if val := L + t.bestPiOut + pi[outPiArg]; val < bestVal || (val == bestVal && outPiArg < bestNode) {
-				bestVal, bestNode, bestPar = val, outPiArg, t.bestPiOutArg
+		// Candidate 4: forbidden edge into the min-pi out-node. On the
+		// heap path outPiArg is not maintained (its sorted order was the
+		// third per-iterate sort); the candidate costs at least
+		// L + bestPiOut + minOutPi, which loses to bestVal on anything
+		// but degenerate instances, so the exact receiver — the same
+		// (pi, node)-minimum the order's head used to provide — is only
+		// scanned for when the bound does not already decide.
+		if t.dense {
+			if outPiArg >= 0 && t.bestPiOut < otUnreached {
+				if val := L + t.bestPiOut + pi[outPiArg]; val < bestVal || (val == bestVal && outPiArg < bestNode) {
+					bestVal, bestNode, bestPar = val, outPiArg, t.bestPiOutArg
+				}
+			}
+		} else if t.bestPiOut < otUnreached {
+			if lb := L + t.bestPiOut + t.minOutPi; lb <= bestVal {
+				for x := 1; x < N; x += 2 {
+					if !t.inTree[x] && (outPiArg < 0 || pi[x] < pi[outPiArg]) {
+						outPiArg = x
+					}
+				}
+				if outPiArg >= 0 {
+					if val := L + t.bestPiOut + pi[outPiArg]; val < bestVal || (val == bestVal && outPiArg < bestNode) {
+						bestVal, bestNode, bestPar = val, outPiArg, t.bestPiOutArg
+					}
+				}
 			}
 		}
 		if bestNode < 0 {
@@ -663,6 +805,20 @@ func (t *sparseOneTree) run() float64 {
 		t.deg[bestNode]++
 		t.deg[bestPar]++
 		t.join(bestNode)
+		// A locked offer recorded by that join is strictly below every
+		// candidate the next selection could see (see fuseG), so the
+		// true loop would select it next with no tie to break — join the
+		// partner now and skip the whole selection pass. The joined
+		// partner is an in- or out-node whose own partner is in the
+		// tree, so the fused join cannot record another fusion.
+		if w := t.fused; w >= 0 && count < N-2 {
+			t.fused = -1
+			count++
+			total += t.key[w]
+			t.deg[w]++
+			t.deg[t.par[w]]++
+			t.join(w)
+		}
 	}
 
 	// Two cheapest edges incident to node 0 (in_0), at true costs.

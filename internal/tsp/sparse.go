@@ -213,6 +213,35 @@ func Sparsify(c Costs) *SparseMatrix {
 	ev := make([]Cost, 0, n-1)
 	var elect electScratch
 	if s, ok := c.(*SparseMatrix); ok {
+		// A matrix already in canonical form is returned as-is: the
+		// canonical form is a pure function of the At values, so the
+		// rebuild below would reproduce s row for row. A row is
+		// canonical when no exception equals the row default and the
+		// default wins the election — guaranteed without running it
+		// when the default's multiplicity strictly exceeds the whole
+		// exception count. SparseMatrix is immutable after Finish, so
+		// aliasing the input is safe.
+		canonical := true
+	check:
+		for i := 0; i < n; i++ {
+			cols, vals := s.Row(i)
+			def := s.def[i]
+			for _, v := range vals {
+				if v == def {
+					canonical = false
+					break check
+				}
+			}
+			if defCount := n - 1 - len(cols); defCount <= len(cols) {
+				if elect.mostFrequent(def, Cost(defCount), vals) != def {
+					canonical = false
+					break check
+				}
+			}
+		}
+		if canonical {
+			return s
+		}
 		for i := 0; i < n; i++ {
 			cols, vals := s.Row(i)
 			def := elect.mostFrequent(s.def[i], Cost(n-1-len(cols)), vals)
