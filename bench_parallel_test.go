@@ -45,3 +45,31 @@ func BenchmarkSolveParallel(b *testing.B) {
 	}
 	b.Logf("host GOMAXPROCS=%d (speedup is bounded by it)", runtime.GOMAXPROCS(0))
 }
+
+// BenchmarkBoundParallel measures the per-function Held-Karp fan-out
+// that backs `balign vet`/`check.Bounds`: eight independent 300-block
+// synthetic instances bounded concurrently, one ascent per pool task.
+// As with the solve series, each width gets a dedicated pool, the work
+// is deterministic at every width, and speedup is bounded by
+// min(workers, GOMAXPROCS, instances).
+func BenchmarkBoundParallel(b *testing.B) {
+	m := machine.Alpha21164()
+	const instances = 8
+	mats := make([]*tsp.SparseMatrix, instances)
+	for i := range mats {
+		f, fp := synthFuncSeeded(b, 300, int64(i+1))
+		mats[i] = align.BuildSparseMatrixForFunc(f, fp, m)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		pool := work.NewPool(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pool.Each(len(mats), func(k int) {
+					tsp.HeldKarpBound(mats[k], tsp.HeldKarpOptions{Iterations: 120})
+				})
+			}
+		})
+	}
+	b.Logf("host GOMAXPROCS=%d (speedup is bounded by it)", runtime.GOMAXPROCS(0))
+}

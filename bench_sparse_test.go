@@ -48,8 +48,12 @@ func largestBundledFunc(b *testing.B) (*ir.Func, *interp.FuncProfile) {
 }
 
 func synthFunc(b *testing.B, blocks int) (*ir.Func, *interp.FuncProfile) {
+	return synthFuncSeeded(b, blocks, int64(blocks)*13)
+}
+
+func synthFuncSeeded(b *testing.B, blocks int, seed int64) (*ir.Func, *interp.FuncProfile) {
 	b.Helper()
-	mod, prof, err := bench.Synthesize(bench.DefaultSynth(blocks, int64(blocks)*13))
+	mod, prof, err := bench.Synthesize(bench.DefaultSynth(blocks, seed))
 	if err != nil {
 		b.Fatal(err)
 	}

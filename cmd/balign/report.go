@@ -37,6 +37,7 @@ func runReport(args []string) int {
 		seed      = fs.Int64("seed", 1, "solver seed")
 		algSel    = fs.String("algorithm", "tsp", "aligner for live runs: tsp, exttsp, greedy, ...")
 		hkIters   = fs.Int("hk-iters", 3000, "Held-Karp subgradient iterations")
+		hkStall   = fs.Int("hk-stall", 50, "stop each Held-Karp ascent after this many iterates without improvement (0 = run the full schedule)")
 		parallel  = fs.Int("parallel", 0, "TSP solver parallelism for live runs: max concurrent local-search runs per function (-1 = all CPUs); bit-identical results, lower wall-clock in the solve-ms column")
 	)
 	fs.Parse(args)
@@ -64,7 +65,7 @@ func runReport(args []string) int {
 		}
 	} else {
 		var err error
-		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *algSel, *seed, *hkIters, *parallel)
+		events, err = reportRun(*srcPath, *benchName, *dataset, *data, *scalarN, *modelSel, *algSel, *seed, *hkIters, *hkStall, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "balign report:", err)
 			return 1
@@ -76,7 +77,7 @@ func runReport(args []string) int {
 
 // reportRun executes the profile -> align -> Held-Karp pipeline with
 // an in-memory telemetry sink and returns the collected events.
-func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel, algorithm string, seed int64, hkIters, parallel int) ([]obs.Event, error) {
+func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel, algorithm string, seed int64, hkIters, hkStall, parallel int) ([]obs.Event, error) {
 	mod, inputs, err := loadProgram(srcPath, benchName, dataset, data, scalarN)
 	if err != nil {
 		return nil, err
@@ -101,7 +102,9 @@ func reportRun(srcPath, benchName, dataset, data string, scalarN int64, modelSel
 		return nil, err
 	}
 	aligner.Align(context.Background(), mod, prof, model)
-	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{Iterations: hkIters, Obs: root})
+	align.HeldKarpLowerBound(mod, prof, model, tsp.HeldKarpOptions{
+		Iterations: hkIters, StallWindow: hkStall, Obs: root,
+	})
 	root.End()
 	if err := tr.Close(); err != nil {
 		return nil, err
@@ -126,6 +129,8 @@ type reportRow struct {
 	cost       int64
 	bound      int64
 	hasHK      bool
+	hkIters    int64
+	hkConv     bool
 	exact      bool
 	runs       int64
 	runsBest   int64
@@ -178,6 +183,8 @@ func renderReport(events []obs.Event) string {
 		case "align.hk":
 			r := get(e.Str("func"))
 			r.bound = e.Int("bound")
+			r.hkIters = e.Int("iterations")
+			r.hkConv = e.Bool("converged")
 			r.hasHK = true
 		}
 	}
@@ -195,14 +202,20 @@ func renderReport(events []obs.Event) string {
 		return ordered[i].fn < ordered[j].fn
 	})
 
-	table := stats.NewTable("function", "algorithm", "cities", "tour cost", "HK bound", "gap %", "exact", "runs@best", "iters to best", "3-opt acc/tried", "or-opt acc/tried", "solve ms")
+	table := stats.NewTable("function", "algorithm", "cities", "tour cost", "HK bound", "gap %", "HK iters", "HK conv", "exact", "runs@best", "iters to best", "3-opt acc/tried", "or-opt acc/tried", "solve ms")
 	var tot reportRow
 	allHK := true
 	for _, r := range ordered {
-		bound, gap := "-", "-"
+		bound, gap, hkit, hkcv := "-", "-", "-", "-"
 		if r.hasHK {
 			bound = fmt.Sprintf("%d", r.bound)
 			gap = fmt.Sprintf("%.2f", gapPct(r.cost, r.bound))
+			// Exact bounds (small functions) run no ascent: iterations
+			// stays "-" and converged is trivially true.
+			if r.hkIters > 0 {
+				hkit = fmt.Sprintf("%d", r.hkIters)
+			}
+			hkcv = fmt.Sprintf("%v", r.hkConv)
 		} else {
 			allHK = false
 		}
@@ -210,14 +223,15 @@ func renderReport(events []obs.Event) string {
 		if alg == "" {
 			alg = "-" // an align.hk span with no matching align.func
 		}
-		table.Rowf("%s|%s|%d|%d|%s|%s|%v|%d/%d|%d|%s/%s|%s/%s|%s",
-			r.fn, alg, r.cities, r.cost, bound, gap, r.exact, r.runsBest, r.runs,
+		table.Rowf("%s|%s|%d|%d|%s|%s|%s|%s|%v|%d/%d|%d|%s/%s|%s/%s|%s",
+			r.fn, alg, r.cities, r.cost, bound, gap, hkit, hkcv, r.exact, r.runsBest, r.runs,
 			r.iterBest, stats.FormatCount(r.accepted), stats.FormatCount(r.tried),
 			stats.FormatCount(r.orAccepted), stats.FormatCount(r.orTried),
 			solveMS(r.durUS))
 		tot.cities += r.cities
 		tot.cost += r.cost
 		tot.bound += r.bound
+		tot.hkIters += r.hkIters
 		tot.tried += r.tried
 		tot.accepted += r.accepted
 		tot.orTried += r.orTried
@@ -225,13 +239,14 @@ func renderReport(events []obs.Event) string {
 		tot.durUS += r.durUS
 	}
 	if len(ordered) > 1 {
-		bound, gap := "-", "-"
+		bound, gap, hkit := "-", "-", "-"
 		if allHK {
 			bound = fmt.Sprintf("%d", tot.bound)
 			gap = fmt.Sprintf("%.2f", gapPct(tot.cost, tot.bound))
+			hkit = fmt.Sprintf("%d", tot.hkIters)
 		}
-		table.Rowf("total (%d)||%d|%d|%s|%s||||%s/%s|%s/%s|%s",
-			len(ordered), tot.cities, tot.cost, bound, gap,
+		table.Rowf("total (%d)||%d|%d|%s|%s|%s|||||%s/%s|%s/%s|%s",
+			len(ordered), tot.cities, tot.cost, bound, gap, hkit,
 			stats.FormatCount(tot.accepted), stats.FormatCount(tot.tried),
 			stats.FormatCount(tot.orAccepted), stats.FormatCount(tot.orTried),
 			solveMS(tot.durUS))

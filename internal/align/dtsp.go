@@ -290,6 +290,14 @@ type FuncBoundResult struct {
 	// Iterations is the number of subgradient iterates evaluated (0 for
 	// exact bounds).
 	Iterations int
+	// Converged is true when the bound is provably exact for the relaxed
+	// instance: the 1-tree became a tour, or the function was small
+	// enough to bound by its true optimum.
+	Converged bool
+	// Stalled is true when the ascent's stall window (if enabled) ended
+	// the computation before its iteration schedule. The bound is still
+	// valid, just no tighter than where the ascent plateaued.
+	Stalled bool
 }
 
 // FuncHeldKarpBound computes the Held-Karp bound for a single function's
@@ -308,15 +316,15 @@ func FuncHeldKarpBoundResult(f *ir.Func, fp *interp.FuncProfile, m machine.Model
 	sp := opts.Obs.Child("align.hk", obs.String("func", f.Name), obs.Int("cities", int64(n)))
 	opts.Obs = sp
 	if n == 1 {
-		sp.End(obs.Int("bound", 0), obs.Bool("exact", true))
-		return FuncBoundResult{Exact: true}
+		sp.End(obs.Int("bound", 0), obs.Bool("exact", true), obs.Bool("converged", true))
+		return FuncBoundResult{Exact: true, Converged: true}
 	}
 	pred := layout.Predictions(f, fp)
 	mat := BuildSparseMatrix(f, fp, pred, m)
 	if n <= 12 {
 		_, opt := tsp.SolveExact(mat)
-		sp.End(obs.Int("bound", opt), obs.Bool("exact", true))
-		return FuncBoundResult{Bound: opt, Exact: true}
+		sp.End(obs.Int("bound", opt), obs.Bool("exact", true), obs.Bool("converged", true))
+		return FuncBoundResult{Bound: opt, Exact: true, Converged: true}
 	}
 	hk := tsp.HeldKarpBound(mat, opts)
 	b := hk.Bound
@@ -329,8 +337,11 @@ func FuncHeldKarpBoundResult(f *ir.Func, fp *interp.FuncProfile, m machine.Model
 	if float64(c) < b {
 		c++
 	}
-	sp.End(obs.Int("bound", int64(c)), obs.Bool("truncated", hk.Truncated))
-	return FuncBoundResult{Bound: c, Truncated: hk.Truncated, Iterations: hk.Iterations}
+	sp.End(obs.Int("bound", int64(c)), obs.Bool("truncated", hk.Truncated),
+		obs.Int("iterations", int64(hk.Iterations)), obs.Bool("converged", hk.Converged),
+		obs.Bool("stalled", hk.Stalled))
+	return FuncBoundResult{Bound: c, Truncated: hk.Truncated, Iterations: hk.Iterations,
+		Converged: hk.Converged, Stalled: hk.Stalled}
 }
 
 // BuildMatrixForFunc is BuildMatrix with predictions derived internally,

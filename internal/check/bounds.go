@@ -7,6 +7,7 @@ import (
 	"branchalign/internal/layout"
 	"branchalign/internal/machine"
 	"branchalign/internal/tsp"
+	"branchalign/internal/work"
 )
 
 // BoundsOptions tunes the bound-consistency check.
@@ -24,6 +25,12 @@ type BoundsOptions struct {
 	// appendix's convention: one- and two-block layouts are forced, so
 	// their chains are vacuous).
 	MinBlocks int
+	// HKStallWindow, when positive, lets each Held-Karp ascent stop
+	// early once its best bound has plateaued for this many iterates
+	// (tsp.HeldKarpOptions.StallWindow). Early termination only loosens
+	// the bound, so the chain invariants this check audits are
+	// unaffected — it is purely a wall-clock knob for the vet path.
+	HKStallWindow int
 }
 
 func (o BoundsOptions) normalized() BoundsOptions {
@@ -64,19 +71,36 @@ func BoundChain(name string, ap, hk, tour, eps tsp.Cost) *Report {
 // DTSP matrix; the tour cost is the cycle cost of the layout order on
 // that same matrix, which by construction equals the layout's walk cost
 // plus the end-of-layout closing edge.
+//
+// Functions are audited in parallel on the shared worker pool — each
+// function's chain is independent — and the per-function findings are
+// merged in plan (function-index) order, so the report is identical to
+// the sequential loop's regardless of scheduling.
 func Bounds(mod *ir.Module, prof *interp.Profile, l *layout.Layout, m machine.Model, opts BoundsOptions) *Report {
 	opts = opts.normalized()
-	r := &Report{}
+	var eligible []int
 	for fi, f := range mod.Funcs {
-		if len(f.Blocks) < opts.MinBlocks {
-			continue
+		if len(f.Blocks) >= opts.MinBlocks {
+			eligible = append(eligible, fi)
 		}
+	}
+	per := make([]*Report, len(eligible))
+	work.Shared().Each(len(eligible), func(k int) {
+		fi := eligible[k]
+		f := mod.Funcs[fi]
 		fp := prof.Funcs[fi]
 		mat := align.BuildSparseMatrixForFunc(f, fp, m)
 		ap := tsp.AssignmentBound(mat)
-		hk := align.FuncHeldKarpBound(f, fp, m, tsp.HeldKarpOptions{Iterations: opts.HKIterations})
+		hk := align.FuncHeldKarpBound(f, fp, m, tsp.HeldKarpOptions{
+			Iterations:  opts.HKIterations,
+			StallWindow: opts.HKStallWindow,
+		})
 		tour := tsp.CycleCost(mat, tsp.Tour(l.Funcs[fi].Order))
-		r.Merge(BoundChain(f.Name, ap, hk, tour, opts.Epsilon))
+		per[k] = BoundChain(f.Name, ap, hk, tour, opts.Epsilon)
+	})
+	r := &Report{}
+	for _, p := range per {
+		r.Merge(p)
 	}
 	return r
 }

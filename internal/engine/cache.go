@@ -20,6 +20,37 @@ import (
 // (TestCacheKeyIgnoresParallelism pins this).
 func requestKey(req Request) (string, error) {
 	h := sha256.New()
+	if err := hashInstance(h, req); err != nil {
+		return "", err
+	}
+	// The algorithm name is a key component too: different aligners are
+	// different computations over the same inputs.
+	fmt.Fprintf(h, "|alg=%s|seed=%d|kicks=%d|hkiters=%d|bound=%v|iters=%d",
+		req.Algorithm, req.Seed, req.Budget.MaxKicks, req.Budget.MaxHKIterations,
+		req.Bound, req.HKIterations)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// boundKey derives the warm-start cache key for a request: a digest over
+// only the inputs that determine the per-function DTSP instances — the
+// module, the profile, and the machine model. Algorithm, seed, iteration
+// counts and budgets are deliberately excluded: the Held-Karp dual state
+// is a property of the instance, portable across every request shape
+// that bounds it (that portability is the whole point of the cache — a
+// re-request with a different seed or budget resumes the ascent instead
+// of re-climbing from zero).
+func boundKey(req Request) (string, error) {
+	h := sha256.New()
+	if err := hashInstance(h, req); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashInstance writes the request components that determine the DTSP
+// instances — module, profile mode/bytes, machine model — the common
+// prefix of requestKey and boundKey.
+func hashInstance(h io.Writer, req Request) error {
 	io.WriteString(h, req.Module.String())
 	// The profile mode is a structural key component: a static-profile
 	// request hashes the mode tag instead of profile bytes (the estimate
@@ -32,67 +63,67 @@ func requestKey(req Request) (string, error) {
 	} else {
 		io.WriteString(h, "|pmode=measured|")
 		if err := req.Profile.WriteJSON(h); err != nil {
-			return "", fmt.Errorf("engine: hashing profile: %w", err)
+			return fmt.Errorf("engine: hashing profile: %w", err)
 		}
 	}
 	// machine.Model is all scalars, so its fmt image is a faithful key
-	// component. The algorithm name is one too: different aligners are
-	// different computations over the same inputs.
-	fmt.Fprintf(h, "|model=%+v|alg=%s|seed=%d|kicks=%d|hkiters=%d|bound=%v|iters=%d",
-		req.Model, req.Algorithm, req.Seed, req.Budget.MaxKicks, req.Budget.MaxHKIterations,
-		req.Bound, req.HKIterations)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	// component.
+	fmt.Fprintf(h, "|model=%+v", req.Model)
+	return nil
 }
 
-// lru is a minimal least-recently-used result cache. Callers hold the
-// engine mutex; lru itself is not safe for concurrent use.
-type lru struct {
+// lru is a minimal least-recently-used cache. The engine keeps two: one
+// over *Result (the result cache) and one over warm-start dual states.
+// Callers hold the engine mutex; lru itself is not safe for concurrent
+// use.
+type lru[V any] struct {
 	max   int
-	order *list.List // front = most recent; values are *lruEntry
+	order *list.List // front = most recent; values are *lruEntry[V]
 	byKey map[string]*list.Element
 	// onEvict, when non-nil, observes each capacity eviction (not
 	// replacements of an existing key) — the metrics-plane hook.
 	onEvict func()
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	res *Result
+	val V
 }
 
-func newLRU(max int) *lru {
-	return &lru{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+func newLRU[V any](max int) *lru[V] {
+	return &lru[V]{max: max, order: list.New(), byKey: map[string]*list.Element{}}
 }
 
 // len returns the number of cached entries.
-func (c *lru) len() int { return c.order.Len() }
+func (c *lru[V]) len() int { return c.order.Len() }
 
-func (c *lru) get(key string) (*Result, bool) {
+func (c *lru[V]) get(key string) (V, bool) {
+	var zero V
 	if c.max <= 0 {
-		return nil, false
+		return zero, false
 	}
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-func (c *lru) put(key string, res *Result) {
+func (c *lru[V]) put(key string, val V) {
 	if c.max <= 0 {
 		return
 	}
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*lruEntry).res = res
+		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	c.byKey[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		delete(c.byKey, oldest.Value.(*lruEntry[V]).key)
 		if c.onEvict != nil {
 			c.onEvict()
 		}

@@ -120,7 +120,12 @@ type Request struct {
 	Budget tsp.Budget
 
 	// Bound additionally computes the per-function Held-Karp lower
-	// bounds (HKIterations subgradient iterates, default 1000).
+	// bounds (HKIterations subgradient iterates, default 1000). The
+	// ascents warm-start from the engine's per-instance dual-state
+	// cache, so a later request on the same module/profile/model —
+	// even with a different seed, algorithm or iteration budget — may
+	// report tighter (never weaker, never invalid) bounds than a cold
+	// engine would.
 	Bound        bool
 	HKIterations int
 
@@ -198,8 +203,18 @@ type Engine struct {
 	met         metrics
 
 	mu       sync.Mutex
-	cache    *lru
+	cache    *lru[*Result]
 	inflight map[string]*call
+	// warm caches Held-Karp warm-start states per instance (boundKey):
+	// one dual vector per function, from the best iterate of the last
+	// bound computation on that (module, profile, model). A later
+	// request on the same instance — different seed, algorithm or
+	// iteration budget — resumes its ascents from these states instead
+	// of re-climbing from zero, so its bounds converge in fewer
+	// iterates and are never weaker than the cached state's. Entries
+	// are immutable once stored (requests copy on read and replace on
+	// write), so readers never race writers.
+	warm *lru[[]*tsp.HKWarmState]
 }
 
 // call is one in-flight computation other identical requests can wait
@@ -226,7 +241,8 @@ func New(o Options) *Engine {
 	e := &Engine{
 		pool:        work.NewPool(o.Workers),
 		parallelism: o.Parallelism,
-		cache:       newLRU(entries),
+		cache:       newLRU[*Result](entries),
+		warm:        newLRU[[]*tsp.HKWarmState](entries),
 		inflight:    map[string]*call{},
 	}
 	e.cache.onEvict = func() { e.met.evictions.Inc() }
@@ -351,6 +367,25 @@ func (e *Engine) Align(ctx context.Context, req Request) (*Result, error) {
 	return res, err
 }
 
+// warmStates returns private warm-start states for one request's bound
+// fan-out: deep copies of the cached per-function states under key (or
+// zero states on a miss), so the request's ascents can mutate them
+// freely while the cached entry stays immutable for concurrent readers.
+func (e *Engine) warmStates(key string, n int) []*tsp.HKWarmState {
+	e.mu.Lock()
+	cached, _ := e.warm.get(key)
+	e.mu.Unlock()
+	states := make([]*tsp.HKWarmState, n)
+	for i := range states {
+		s := &tsp.HKWarmState{}
+		if i < len(cached) && cached[i] != nil {
+			s.Pi = append([]float64(nil), cached[i].Pi...)
+		}
+		states[i] = s
+	}
+	return states
+}
+
 // finishSolve records one completed solve's outcome counters.
 func (e *Engine) finishSolve(res *Result, err error) {
 	if err != nil {
@@ -403,13 +438,30 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 	stats := make([]FuncStat, n)
 	bounds := make([]align.FuncBoundResult, n)
 
+	// Warm-start states for the bound computations: per-function dual
+	// vectors cached by instance identity (boundKey — module, profile,
+	// model; not seed/algorithm/budget). Each request works on private
+	// copies and publishes them back after the fan-out, so concurrent
+	// requests on the same instance never share mutable state.
+	var warm []*tsp.HKWarmState
+	var warmKey string
+	if req.Bound {
+		if bk, err := boundKey(req); err == nil {
+			warmKey = bk
+			warm = e.warmStates(bk, n)
+		}
+	}
+
 	// The Held-Karp bound is on the control penalty of ANY layout of the
-	// function, so it is meaningful (and identical) under every
-	// algorithm.
+	// function, so it is meaningful (and identical up to ascent depth)
+	// under every algorithm.
 	funcBound := func(fi int) {
 		if req.Bound {
 			ho := hkOpts
 			ho.Obs = req.Obs
+			if warm != nil {
+				ho.Warm = warm[fi]
+			}
 			bounds[fi] = align.FuncHeldKarpBoundResult(mod.Funcs[fi], prof.Funcs[fi], req.Model, ho)
 		}
 	}
@@ -467,6 +519,15 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Result, error) {
 		if req.Bound {
 			e.pool.Each(n, funcBound)
 		}
+	}
+
+	if warm != nil {
+		// Publish the updated dual states for the next request on this
+		// instance. Concurrent requests race benignly: whichever slice
+		// lands last is a complete, valid set of states.
+		e.mu.Lock()
+		e.warm.put(warmKey, warm)
+		e.mu.Unlock()
 	}
 
 	res := &Result{Funcs: stats, ProfileEstimated: req.StaticProfile}

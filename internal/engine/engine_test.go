@@ -173,6 +173,41 @@ func TestEngineBounds(t *testing.T) {
 	}
 }
 
+// TestEngineWarmStartTightensBounds pins the warm-start cache: a second
+// bounded request on the same instance (different seed, so it misses
+// the result cache) resumes its Held-Karp ascents from the first
+// request's dual states. The resumed ascent re-evaluates the cached
+// best iterate first, so the second request's bounds are at least as
+// tight as the first's — and still valid lower bounds.
+func TestEngineWarmStartTightensBounds(t *testing.T) {
+	mod, prof := branchy(t)
+	e := New(Options{Workers: 2})
+	req := Request{
+		Module: mod, Profile: prof, Model: machine.Alpha21164(), Seed: 1,
+		Bound: true, HKIterations: 60,
+	}
+	first, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Seed = 2
+	second, err := e.Align(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHit || second.Coalesced {
+		t.Fatal("different seed unexpectedly shared the first result")
+	}
+	if second.Bound < first.Bound {
+		t.Fatalf("warm-started bound %d below cold bound %d", second.Bound, first.Bound)
+	}
+	for _, fs := range second.Funcs {
+		if fs.Bound > fs.Cost {
+			t.Fatalf("func %s: warm bound %d exceeds tour cost %d", fs.Name, fs.Bound, fs.Cost)
+		}
+	}
+}
+
 // TestEngineConcurrentIdenticalCoalesce exercises single-flight: many
 // identical concurrent requests produce identical layouts, and at most
 // a few actual solves (one leader plus stragglers that arrived after it

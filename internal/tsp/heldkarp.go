@@ -33,6 +33,46 @@ type HeldKarpOptions struct {
 	// Budget bounds the ascent (wall-clock deadline, max subgradient
 	// iterates). The zero Budget is unlimited.
 	Budget Budget
+	// Warm, when non-nil, warm-starts the ascent from the dual state of
+	// a previous call on the same instance and receives the updated
+	// state when the call returns. A state whose vector length does not
+	// match the instance's node count is ignored (cold start) and then
+	// overwritten, so a stale state is never worse than no state. Every
+	// pi vector yields a valid lower bound, so warm-starting can only
+	// change how quickly the ascent reaches a tight bound — never the
+	// validity of what it returns.
+	Warm *HKWarmState
+	// StallWindow, when positive, ends the ascent early once the best
+	// bound has gone StallWindow consecutive iterates without improving
+	// by more than StallEpsilon times the instance's upper-bound
+	// magnitude. Zero disables early termination (the default): the
+	// full iteration schedule runs. Early termination only truncates
+	// the maximization, so the returned bound remains a valid lower
+	// bound — merely as tight as the ascent had gotten.
+	StallWindow int
+	// StallEpsilon is the relative improvement threshold for
+	// StallWindow; <= 0 selects 1e-6.
+	StallEpsilon float64
+	// stallFloor arms the stall window only once the best bound exceeds
+	// it (in the kernel's raw value space). Used by the dense directed
+	// path to tell the symmetric kernel where the shifted instance's
+	// useful range begins; the sparse directed kernel derives its own.
+	stallFloor float64
+}
+
+// HKWarmState carries the dual state of a Held-Karp ascent so a later
+// call on the same instance can resume from it instead of re-climbing
+// from pi = 0. The zero value is a valid cold state. States are keyed
+// by instance identity (the caller's responsibility): a state from a
+// different instance is detected only when the node counts differ.
+type HKWarmState struct {
+	// Pi is the node-potential vector of the best iterate seen, in the
+	// node space of the computation that produced it (the 2n-node
+	// symmetric transformation for directed instances). Re-evaluating
+	// the 1-tree at this vector reproduces the previous call's best
+	// bound exactly, so a warm-started ascent never reports a weaker
+	// bound than the state it resumed from.
+	Pi []float64
 }
 
 // BoundResult reports the outcome of a Held-Karp bound computation.
@@ -48,6 +88,10 @@ type BoundResult struct {
 	// Converged is true when the 1-tree became a tour, making the bound
 	// provably exact for the relaxed instance.
 	Converged bool
+	// Stalled is true when StallWindow ended the ascent before its
+	// iteration schedule (and before convergence). The bound is still
+	// valid; the remaining schedule was judged unlikely to tighten it.
+	Stalled bool
 }
 
 // hkSchedule returns the iteration count and step-halving period shared
@@ -66,6 +110,67 @@ func hkSchedule(nodes, iterations int) (iters, period int) {
 		period = 5
 	}
 	return iters, period
+}
+
+// stallTracker implements the epsilon-over-window early-termination
+// rule shared by the subgradient drivers: stop once the best bound has
+// gone a full window of iterates without improving by more than an
+// epsilon fraction of the instance's cost scale. The scale is fixed up
+// front (the upper bound's magnitude) rather than derived from the
+// current bound: early iterates of shifted instances sit far below
+// zero, and a threshold keyed to the moving bound would inflate exactly
+// while the ascent makes its fastest progress. Tracking the *best*
+// bound (not the per-iterate bound) makes the rule robust to the
+// oscillation inherent in subgradient steps.
+//
+// Counting is armed only once the best bound has cleared the floor —
+// the raw-space value below which the bound is trivially useless (a
+// directed bound that would clamp to zero). The initial alpha=2 steps
+// overshoot on shifted instances, and the ascent legitimately spends
+// 100+ iterates below its own first iterate while the step size decays;
+// stopping there would save wall clock but certify nothing.
+type stallTracker struct {
+	window int
+	thresh float64
+	floor  float64
+	count  int
+}
+
+// newStallTracker widens window to at least one full step-halving
+// period: the ascent routinely plateaus for most of a period before a
+// halving unlocks further progress, so a smaller window cannot tell
+// "converged" from "waiting for alpha to decay".
+func newStallTracker(window, period int, eps, scale, floor float64) stallTracker {
+	if window > 0 && window < period {
+		window = period
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return stallTracker{window: window, thresh: eps * scale, floor: floor}
+}
+
+// observe records one iterate's improvement of the best bound (gain;
+// +Inf on the first iterate) and reports whether the ascent should
+// stop. Iterates spent at or below the floor never count toward the
+// window.
+func (s *stallTracker) observe(best, gain float64) bool {
+	if s.window <= 0 || best <= s.floor {
+		s.count = 0
+		return false
+	}
+	if gain > s.thresh {
+		s.count = 0
+	} else {
+		s.count++
+	}
+	return s.count >= s.window
 }
 
 // HeldKarpSym computes the Held-Karp lower bound for a symmetric instance
@@ -109,12 +214,16 @@ func HeldKarpSymBound(m *Matrix, opt HeldKarpOptions) BoundResult {
 	stepSeries := sp.Series("hk_step")
 
 	pi := make([]float64, n)
+	if opt.Warm != nil && len(opt.Warm.Pi) == n {
+		copy(pi, opt.Warm.Pi)
+	}
 	deg := make([]int, n)
 	ws := newOneTreeWorkspace(n)
 	best := math.Inf(-1)
 	res := BoundResult{}
 	cc := newCancelCheck(opt.Context, opt.Budget)
 	maxIt := opt.Budget.MaxHKIterations
+	st := newStallTracker(opt.StallWindow, period, opt.StallEpsilon, float64(ub), opt.stallFloor)
 	for it := 0; it < iters; it++ {
 		// Iterate-boundary budget check. The first iterate always runs
 		// (it is cheap and guarantees a real bound); later iterates stop
@@ -134,8 +243,12 @@ func HeldKarpSymBound(m *Matrix, opt HeldKarpOptions) BoundResult {
 			piSum += p
 		}
 		bound := w - 2*piSum
+		gain := bound - best
 		if bound > best {
 			best = bound
+			if opt.Warm != nil {
+				opt.Warm.Pi = append(opt.Warm.Pi[:0], pi...)
+			}
 			boundSeries.Add(int64(it), bound)
 		}
 		// Subgradient: degree deviation from 2.
@@ -148,6 +261,10 @@ func HeldKarpSymBound(m *Matrix, opt HeldKarpOptions) BoundResult {
 			// The 1-tree is a tour: the bound is exact.
 			res.Converged = true
 			sp.SetAttrs(obs.Bool("converged", true))
+			break
+		}
+		if st.observe(best, gain) {
+			res.Stalled = true
 			break
 		}
 		step := alpha * (float64(ub) - bound) / norm
@@ -167,7 +284,7 @@ func HeldKarpSymBound(m *Matrix, opt HeldKarpOptions) BoundResult {
 	res.Bound = best
 	sp.Count("hk.iterations", int64(res.Iterations))
 	sp.End(obs.Float("bound", best), obs.Int("iterations", int64(res.Iterations)),
-		obs.Bool("truncated", res.Truncated))
+		obs.Bool("truncated", res.Truncated), obs.Bool("stalled", res.Stalled))
 	return res
 }
 
@@ -201,6 +318,9 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 	sp := Sparsify(c)
 	ot := newSparseOneTree(sp)
 	defer ot.release()
+	if opt.Warm != nil && len(opt.Warm.Pi) == ot.N {
+		copy(ot.pi, opt.Warm.Pi)
+	}
 	shift := float64(n) * float64(ot.L)
 	dirUB := opt.UpperBound
 	if dirUB <= 0 {
@@ -222,6 +342,12 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 	res := BoundResult{}
 	cc := newCancelCheck(opt.Context, opt.Budget)
 	maxIt := opt.Budget.MaxHKIterations
+	// The stall threshold is scaled by the directed upper bound — the
+	// instance's true cost magnitude. The raw ascent values sit at
+	// -n·L and would swamp any relative epsilon. The arming floor is
+	// -shift: raw best above it means the directed bound is positive,
+	// i.e. actually worth stopping at.
+	st := newStallTracker(opt.StallWindow, period, opt.StallEpsilon, float64(dirUB), -shift)
 	for it := 0; it < iters; it++ {
 		// Iterate-boundary budget check; see HeldKarpSymBound.
 		if maxIt > 0 && res.Iterations >= maxIt {
@@ -239,8 +365,12 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 			piSum += p
 		}
 		bound := w - 2*piSum
+		gain := bound - best
 		if bound > best {
 			best = bound
+			if opt.Warm != nil {
+				opt.Warm.Pi = append(opt.Warm.Pi[:0], ot.pi...)
+			}
 			// The trajectory is recorded in directed terms (shifted back),
 			// so it is directly comparable with tour costs.
 			boundSeries.Add(int64(it), bound+shift)
@@ -253,6 +383,10 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 		if norm == 0 {
 			res.Converged = true
 			hsp.SetAttrs(obs.Bool("converged", true))
+			break
+		}
+		if st.observe(best, gain) {
+			res.Stalled = true
 			break
 		}
 		step := alpha * (ub - bound) / norm
@@ -272,7 +406,7 @@ func HeldKarpBound(c Costs, opt HeldKarpOptions) BoundResult {
 	res.Bound = best + shift
 	hsp.Count("hk.iterations", int64(res.Iterations))
 	hsp.End(obs.Float("bound", res.Bound), obs.Int("iterations", int64(res.Iterations)),
-		obs.Bool("truncated", res.Truncated))
+		obs.Bool("truncated", res.Truncated), obs.Bool("stalled", res.Stalled))
 	return res
 }
 
@@ -298,6 +432,9 @@ func heldKarpDenseBound(c Costs, opt HeldKarpOptions) BoundResult {
 	}
 	symOpt := opt
 	symOpt.UpperBound = dirUB - Cost(c.Len())*s.LockCost()
+	// Raw symmetric values above -shift correspond to positive directed
+	// bounds — only there is stopping early worth anything.
+	symOpt.stallFloor = -shift
 	res := HeldKarpSymBound(symM, symOpt)
 	res.Bound += shift
 	return res

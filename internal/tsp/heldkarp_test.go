@@ -80,3 +80,77 @@ func TestHeldKarpTinyInstances(t *testing.T) {
 		t.Fatalf("2-city HK = %v, want 4", got)
 	}
 }
+
+// TestHeldKarpWarmStartResumesBestBound pins the warm-start contract:
+// the stored state is the best iterate's pi vector, so a warm-started
+// call — even one allowed a single iterate — reproduces at least the
+// bound the state came from, and a longer warm-started ascent never
+// reports less.
+func TestHeldKarpWarmStartResumesBestBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		sp := randSparse(40, 400, 0.2, seed+10)
+		warm := &HKWarmState{}
+		cold := HeldKarpBound(sp, HeldKarpOptions{Iterations: 60, Warm: warm})
+		if len(warm.Pi) != 2*40 {
+			t.Fatalf("seed %d: warm state has %d potentials, want %d", seed, len(warm.Pi), 2*40)
+		}
+		resume := HeldKarpBound(sp, HeldKarpOptions{Iterations: 1, Warm: warm})
+		if resume.Bound < cold.Bound {
+			t.Fatalf("seed %d: one warm iterate bound %.6f below cold best %.6f", seed, resume.Bound, cold.Bound)
+		}
+		full := HeldKarpBound(sp, HeldKarpOptions{Iterations: 60, Warm: warm})
+		if full.Bound < cold.Bound {
+			t.Fatalf("seed %d: warm ascent bound %.6f below cold best %.6f", seed, full.Bound, cold.Bound)
+		}
+		// Warm-started bounds stay valid lower bounds.
+		if tour := CycleCost(sp, NearestNeighbor(sp, 0, nil)); full.Bound > float64(tour)+1e-6 {
+			t.Fatalf("seed %d: warm bound %.6f exceeds a tour cost %d", seed, full.Bound, tour)
+		}
+	}
+}
+
+// TestHeldKarpWarmStateMismatchIgnored: a state sized for a different
+// instance is ignored (cold start, bit-identical to no state) and then
+// overwritten with this instance's dual vector.
+func TestHeldKarpWarmStateMismatchIgnored(t *testing.T) {
+	sp := randSparse(30, 300, 0.2, 3)
+	cold := HeldKarpBound(sp, HeldKarpOptions{Iterations: 40})
+	warm := &HKWarmState{Pi: make([]float64, 7)}
+	got := HeldKarpBound(sp, HeldKarpOptions{Iterations: 40, Warm: warm})
+	if got.Bound != cold.Bound || got.Iterations != cold.Iterations {
+		t.Fatalf("mismatched warm state perturbed the ascent: %+v vs %+v", got, cold)
+	}
+	if len(warm.Pi) != 2*30 {
+		t.Fatalf("state not overwritten for this instance: %d potentials, want %d", len(warm.Pi), 2*30)
+	}
+}
+
+// TestHeldKarpStallStopsEarlyWithValidBound: the epsilon-over-window
+// rule only truncates the maximization — the stalled bound is a prefix
+// of the full ascent's trajectory, so it is never tighter and always
+// valid, and a triggered stall runs strictly fewer iterates.
+func TestHeldKarpStallStopsEarlyWithValidBound(t *testing.T) {
+	sawStall := false
+	for seed := int64(0); seed < 6; seed++ {
+		sp := randSparse(60, 500, 0.15, seed+90)
+		full := HeldKarpBound(sp, HeldKarpOptions{Iterations: 400})
+		stalled := HeldKarpBound(sp, HeldKarpOptions{Iterations: 400, StallWindow: 10})
+		if stalled.Truncated {
+			t.Fatalf("seed %d: stall mislabeled as budget truncation", seed)
+		}
+		if stalled.Bound > full.Bound {
+			t.Fatalf("seed %d: stalled bound %.6f exceeds full-ascent bound %.6f", seed, stalled.Bound, full.Bound)
+		}
+		if stalled.Stalled {
+			sawStall = true
+			// The stalled run is a prefix of the full run (it can tie
+			// only when the full ascent ended at the same iterate).
+			if stalled.Iterations > full.Iterations {
+				t.Fatalf("seed %d: stalled after %d iterates, full ascent ran %d", seed, stalled.Iterations, full.Iterations)
+			}
+		}
+	}
+	if !sawStall {
+		t.Fatal("no instance stalled: the early-termination path went unexercised")
+	}
+}

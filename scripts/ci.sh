@@ -43,6 +43,19 @@ echo "== bench-smoke (every benchmark compiles and runs once)"
 # the next snapshot.
 go test -run '^$' -bench . -benchtime 1x -timeout 20m .
 
+echo "== heldkarp-alloc gate (kernel must stay allocation-free per ascent)"
+# The pooled 1-tree kernel runs the synth5000 ascent in ~10 allocs/op;
+# the boxed-heap implementation it replaced took ~227k. A named pass
+# with a hard allocs/op ceiling keeps that from silently regressing —
+# the catch-all smoke above would still "pass" a deoptimized kernel.
+out=$(go test -run '^$' -bench 'BenchmarkHeldKarpBound/synth5000' -benchtime 1x -benchmem -timeout 10m .)
+echo "$out"
+allocs=$(echo "$out" | awk '/BenchmarkHeldKarpBound\/synth5000/ {print $(NF-1)}')
+if [ -z "$allocs" ] || [ "$allocs" -gt 1000 ]; then
+	echo "ci: Held-Karp kernel allocation regression (${allocs:-no result} allocs/op, ceiling 1000)"
+	exit 1
+fi
+
 echo "== metrics-smoke (boot balignd, align once, scrape /metrics)"
 # Black-box gate on the metrics plane: the exposition must be
 # scrapeable from a real process with the core families present and
